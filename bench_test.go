@@ -1,0 +1,120 @@
+// Benchmarks regenerating the paper's tables and figures, one Benchmark*
+// per evaluation artifact (paper §V). Each iteration rebuilds the systems
+// involved on a fresh virtual clock and replays the paper's workload at a
+// reduced scale; the reported metrics are simulated-time results (MB/s,
+// txn/s, ops/s), so they are deterministic across machines. Run the
+// kamlbench command for the full-scale tables.
+//
+//	go test -bench=. -benchmem
+package kaml_test
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/kaml-ssd/kaml/internal/experiments"
+)
+
+// benchScale keeps each figure's regeneration to a few wall-clock seconds.
+const benchScale = experiments.Scale(0.15)
+
+// parseCell converts a table cell like "136.53" or "2.13x" to a float.
+func parseCell(tb *testing.B, s string) float64 {
+	if len(s) > 0 && s[len(s)-1] == 'x' {
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		tb.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkFig5Bandwidth regenerates Fig. 5: Fetch/Update/Insert bandwidth
+// for the block interface and KAML at three index load factors.
+func BenchmarkFig5Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Fig5(benchScale)
+		// Report the headline cells of each sub-figure at 512 B.
+		fetch, update := tables[0], tables[1]
+		b.ReportMetric(parseCell(b, fetch.Rows[0][1]), "read-MB/s")
+		b.ReportMetric(parseCell(b, fetch.Rows[0][2]), "Get@0.1-MB/s")
+		b.ReportMetric(parseCell(b, update.Rows[0][1]), "write-MB/s")
+		b.ReportMetric(parseCell(b, update.Rows[0][2]), "Put@0.1-MB/s")
+	}
+}
+
+// BenchmarkFig6Latency regenerates Fig. 6: single-threaded operation
+// latency at load factor 0.4.
+func BenchmarkFig6Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Fig6(benchScale)
+		fetch, update := tables[0], tables[1]
+		b.ReportMetric(parseCell(b, fetch.Rows[0][1]), "read-us")
+		b.ReportMetric(parseCell(b, fetch.Rows[0][3]), "Get-us")
+		b.ReportMetric(parseCell(b, update.Rows[0][1]), "write-us")
+		b.ReportMetric(parseCell(b, update.Rows[0][3]), "Put-us")
+	}
+}
+
+// BenchmarkFig7BatchSize regenerates Fig. 7: the effect of Put batch size
+// on update bandwidth and namespace population time.
+func BenchmarkFig7BatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Fig7(benchScale)
+		up := tables[0]
+		b.ReportMetric(parseCell(b, up.Rows[0][1]), "batch1-MB/s")
+		b.ReportMetric(parseCell(b, up.Rows[2][1]), "batch4-MB/s")
+	}
+}
+
+// BenchmarkFig8MultiLog regenerates Fig. 8: Put throughput as the log
+// count grows from 16 to 64.
+func BenchmarkFig8MultiLog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8(benchScale)
+		lo := parseCell(b, t.Rows[0][1])
+		hi := parseCell(b, t.Rows[len(t.Rows)-1][1])
+		b.ReportMetric(lo, "logs16-MB/s")
+		b.ReportMetric(hi, "logs64-MB/s")
+		if lo > 0 {
+			b.ReportMetric(hi/lo, "scalingx")
+		}
+	}
+}
+
+// BenchmarkFig9OLTP regenerates Fig. 9: TPC-B and TPC-C throughput for
+// KAML and Shore-MT variants.
+func BenchmarkFig9OLTP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig9(benchScale)
+		kaml := parseCell(b, t.Rows[0][1])  // KAML hit=1.0, TPC-B
+		shore := parseCell(b, t.Rows[3][1]) // Shore-MT rec-lock, TPC-B
+		b.ReportMetric(kaml, "KAML-tpcb-txn/s")
+		b.ReportMetric(shore, "Shore-tpcb-txn/s")
+		if shore > 0 {
+			b.ReportMetric(kaml/shore, "speedupx")
+		}
+	}
+}
+
+// BenchmarkFig10YCSB regenerates Fig. 10: YCSB workload throughput for
+// both engines.
+func BenchmarkFig10YCSB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig10(benchScale)
+		b.ReportMetric(parseCell(b, t.Rows[0][1]), "KAML-a-ops/s")
+		b.ReportMetric(parseCell(b, t.Rows[0][2]), "Shore-a-ops/s")
+		b.ReportMetric(parseCell(b, t.Rows[0][3]), "speedup-a-x")
+	}
+}
+
+// BenchmarkConflictModel regenerates the §V-D.2 analysis: expected
+// conflicting requests vs lock granularity.
+func BenchmarkConflictModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Conflicts(benchScale)
+		b.ReportMetric(parseCell(b, t.Rows[0][1]), "conflicts@l1")
+		b.ReportMetric(parseCell(b, t.Rows[len(t.Rows)-1][1]), "conflicts@l1024")
+	}
+}

@@ -1,0 +1,92 @@
+// Command kamlbench regenerates the KAML paper's evaluation tables and
+// figures (HPCA 2017, §V) on the simulated systems in this repository.
+//
+// Usage:
+//
+//	kamlbench                  # run everything at the default scale
+//	kamlbench -run fig5,fig9   # specific experiments
+//	kamlbench -scale 2         # larger working sets / longer windows
+//	kamlbench -list            # list experiment IDs
+//
+// Experiment IDs: fig5 fig6 fig7 fig8 fig9 fig10 conflicts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/experiments"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(experiments.Scale) []*experiments.Table
+}
+
+func catalog() []experiment {
+	wrap1 := func(f func(experiments.Scale) *experiments.Table) func(experiments.Scale) []*experiments.Table {
+		return func(s experiments.Scale) []*experiments.Table {
+			return []*experiments.Table{f(s)}
+		}
+	}
+	return []experiment{
+		{"fig5", "bandwidth: Get/Put vs read/write (Fetch, Update, Insert)", experiments.Fig5},
+		{"fig6", "latency: Get/Put vs read/write", experiments.Fig6},
+		{"fig7", "effect of Put batch size", experiments.Fig7},
+		{"fig8", "effect of number of logs", wrap1(experiments.Fig8)},
+		{"fig9", "OLTP: TPC-B and TPC-C, KAML vs Shore-MT", wrap1(experiments.Fig9)},
+		{"fig10", "YCSB A/B/C/D/F, KAML vs Shore-MT", wrap1(experiments.Fig10)},
+		{"conflicts", "locking-granularity conflict analysis (§V-D.2)", wrap1(experiments.Conflicts)},
+		{"ablations", "extra ablations: checkpoint interference, lock-granularity sweep, write amplification", experiments.Ablations},
+	}
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	scale := flag.Float64("scale", 1.0, "working-set / window scale factor")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	cat := catalog()
+	if *list {
+		for _, e := range cat {
+			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			found := false
+			for _, e := range cat {
+				if e.id == id {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	for _, e := range cat {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("--- running %s (%s) ---\n", e.id, e.desc)
+		start := time.Now()
+		for _, tb := range e.run(experiments.Scale(*scale)) {
+			fmt.Println(tb.Render())
+		}
+		fmt.Printf("(%s took %.1fs wall-clock)\n\n", e.id, time.Since(start).Seconds())
+	}
+}

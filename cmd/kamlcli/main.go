@@ -1,0 +1,206 @@
+// Command kamlcli is an interactive shell for a simulated KAML SSD:
+// create namespaces, put and get records, run transactions through the
+// caching layer, and inspect device statistics.
+//
+//	$ kamlcli
+//	kaml> create 1000
+//	namespace 1
+//	kaml> put 1 42 hello-world
+//	ok (23.0µs device time)
+//	kaml> get 1 42
+//	hello-world
+//	kaml> txn 1 begin
+//	kaml> txn 1 update 1 42 newer
+//	kaml> txn 1 commit
+//	kaml> stats
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+func main() {
+	dev, err := kaml.Open(kaml.SmallOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open device: %v\n", err)
+		os.Exit(1)
+	}
+	cache := dev.NewCache(kaml.CacheOptions{CapacityBytes: 32 << 20, RecordsPerLock: 1})
+	txns := map[string]*kaml.Txn{}
+
+	fmt.Println("KAML interactive shell — type 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("kaml> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if fields[0] == "quit" || fields[0] == "exit" {
+				break
+			}
+			run(dev, cache, txns, fields)
+		}
+		fmt.Print("kaml> ")
+	}
+	done := make(chan struct{})
+	dev.Go(func() { defer close(done); dev.Close() })
+	<-done
+}
+
+// run executes one command on the device's simulated clock.
+func run(dev *kaml.Device, cache *kaml.Cache, txns map[string]*kaml.Txn, fields []string) {
+	done := make(chan struct{})
+	dev.Go(func() {
+		defer close(done)
+		start := dev.Now()
+		switch fields[0] {
+		case "help":
+			fmt.Println(`commands:
+  create <expectedKeys>          create a namespace
+  put <ns> <key> <value>         store a record
+  get <ns> <key>                 fetch a record
+  del-ns <ns>                    delete a namespace
+  snapshot <ns>                  create a read-only snapshot
+  logs <ns> <n>                  tune the namespace's log count
+  txn <name> begin               start a transaction on the caching layer
+  txn <name> read <ns> <key>
+  txn <name> update <ns> <key> <value>
+  txn <name> commit | abort
+  stats                          device counters
+  quit`)
+		case "create":
+			expected := 1024
+			if len(fields) > 1 {
+				expected, _ = strconv.Atoi(fields[1])
+			}
+			ns, err := dev.CreateNamespace(kaml.NamespaceOptions{ExpectedKeys: expected})
+			report(err, func() { fmt.Printf("namespace %d", ns) })
+		case "put":
+			if !need(fields, 4, "put <ns> <key> <value>") {
+				return
+			}
+			ns, key := parseNSKey(fields[1], fields[2])
+			err := dev.Put(ns, key, []byte(strings.Join(fields[3:], " ")))
+			report(err, func() { fmt.Printf("ok (%v device time)", dev.Now()-start) })
+		case "get":
+			if !need(fields, 3, "get <ns> <key>") {
+				return
+			}
+			ns, key := parseNSKey(fields[1], fields[2])
+			v, err := dev.Get(ns, key)
+			report(err, func() { fmt.Printf("%s", v) })
+		case "snapshot":
+			if !need(fields, 2, "snapshot <ns>") {
+				return
+			}
+			ns, _ := parseNSKey(fields[1], "0")
+			snap, err := dev.Snapshot(ns)
+			report(err, func() { fmt.Printf("snapshot namespace %d", snap) })
+		case "del-ns":
+			if !need(fields, 2, "del-ns <ns>") {
+				return
+			}
+			ns, _ := parseNSKey(fields[1], "0")
+			report(dev.DeleteNamespace(ns), func() { fmt.Print("ok") })
+		case "logs":
+			if !need(fields, 3, "logs <ns> <n>") {
+				return
+			}
+			ns, _ := parseNSKey(fields[1], "0")
+			n, _ := strconv.Atoi(fields[2])
+			report(dev.TuneNamespaceLogs(ns, n), func() { fmt.Print("ok") })
+		case "txn":
+			runTxn(cache, txns, fields)
+		case "stats":
+			st := dev.Stats()
+			fmt.Printf("puts=%d gets=%d records=%d nvram_hits=%d programs=%d gc_copies=%d gc_erases=%d write_amp=%.2f",
+				st.Puts, st.Gets, st.PutRecords, st.NVRAMHits, st.Programs, st.GCCopies, st.GCErases,
+				writeAmp(st))
+		default:
+			fmt.Printf("unknown command %q (try 'help')", fields[0])
+		}
+	})
+	<-done
+	fmt.Println()
+}
+
+func runTxn(cache *kaml.Cache, txns map[string]*kaml.Txn, fields []string) {
+	if !need(fields, 3, "txn <name> <begin|read|update|commit|abort> ...") {
+		return
+	}
+	name, op := fields[1], fields[2]
+	tx := txns[name]
+	switch op {
+	case "begin":
+		txns[name] = cache.Begin()
+		fmt.Print("ok")
+	case "read":
+		if tx == nil || !need(fields, 5, "txn <name> read <ns> <key>") {
+			fmt.Print("no such transaction or bad args")
+			return
+		}
+		ns, key := parseNSKey(fields[3], fields[4])
+		v, err := tx.Read(ns, key)
+		report(err, func() { fmt.Printf("%s", v) })
+	case "update":
+		if tx == nil || !need(fields, 6, "txn <name> update <ns> <key> <value>") {
+			fmt.Print("no such transaction or bad args")
+			return
+		}
+		ns, key := parseNSKey(fields[3], fields[4])
+		report(tx.Update(ns, key, []byte(strings.Join(fields[5:], " "))), func() { fmt.Print("ok") })
+	case "commit":
+		if tx == nil {
+			fmt.Print("no such transaction")
+			return
+		}
+		report(tx.Commit(), func() { fmt.Print("committed") })
+		tx.Free()
+		delete(txns, name)
+	case "abort":
+		if tx == nil {
+			fmt.Print("no such transaction")
+			return
+		}
+		tx.Abort()
+		tx.Free()
+		delete(txns, name)
+		fmt.Print("aborted")
+	default:
+		fmt.Printf("unknown txn op %q", op)
+	}
+}
+
+func parseNSKey(nss, keys string) (kaml.Namespace, uint64) {
+	ns, _ := strconv.ParseUint(nss, 10, 32)
+	key, _ := strconv.ParseUint(keys, 10, 64)
+	return kaml.Namespace(ns), key
+}
+
+func need(fields []string, n int, usage string) bool {
+	if len(fields) < n {
+		fmt.Printf("usage: %s", usage)
+		return false
+	}
+	return true
+}
+
+func report(err error, ok func()) {
+	if err != nil {
+		fmt.Printf("error: %v", err)
+		return
+	}
+	ok()
+}
+
+func writeAmp(st kaml.Stats) float64 {
+	if st.BytesWritten == 0 {
+		return 0
+	}
+	return float64(st.FlashBytesWritten) / float64(st.BytesWritten)
+}

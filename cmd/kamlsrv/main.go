@@ -1,0 +1,60 @@
+// Command kamlsrv exposes a simulated KAML SSD as a networked key-value
+// store speaking the kvproto text protocol.
+//
+//	kamlsrv -addr 127.0.0.1:7040
+//
+// Try it with netcat:
+//
+//	$ printf 'CREATE 1000\nPUT 1 42 5\nhelloGET 1 42\nQUIT\n' | nc 127.0.0.1 7040
+//	NS 1
+//	OK
+//	VAL 5
+//	hello
+//	BYE
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	kaml "github.com/kaml-ssd/kaml"
+	"github.com/kaml-ssd/kaml/internal/kvproto"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7040", "listen address")
+	small := flag.Bool("small", false, "use the scaled-down device geometry")
+	flag.Parse()
+
+	opts := kaml.DefaultOptions()
+	if *small {
+		opts = kaml.SmallOptions()
+	}
+	dev, err := kaml.Open(opts)
+	if err != nil {
+		log.Fatalf("open device: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := kvproto.NewServer(dev)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Printf("shutting down")
+		srv.Close()
+	}()
+
+	log.Printf("KAML key-value server on %s (device: %d channels x %d chips, %d logs)",
+		ln.Addr(), opts.Flash.Channels, opts.Flash.ChipsPerChannel, opts.Firmware.NumLogs)
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

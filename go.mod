@@ -1,0 +1,3 @@
+module github.com/kaml-ssd/kaml
+
+go 1.22

@@ -1,0 +1,84 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClosedFormMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct{ n, k, l int }{
+		{8, 1024, 1},
+		{8, 1024, 16},
+		{32, 1024, 16},
+		{64, 256, 8},
+		{100, 100, 10},
+	}
+	for _, c := range cases {
+		want := ExpectedConflictsUniform(c.n, c.k, c.l)
+		got := SimulateConflictsUniform(c.n, c.k, c.l, 4000, rng)
+		if math.Abs(want-got) > 0.15*math.Max(want, 1) {
+			t.Errorf("N=%d K=%d l=%d: closed=%.3f sim=%.3f", c.n, c.k, c.l, want, got)
+		}
+	}
+}
+
+func TestConflictsGrowWithGranularity(t *testing.T) {
+	// The paper's conclusion: as l increases, conflicts increase.
+	prev := -1.0
+	for _, l := range []int{1, 2, 4, 8, 16, 64} {
+		e := ExpectedConflictsUniform(16, 4096, l)
+		if e < prev {
+			t.Fatalf("conflicts decreased at l=%d: %f < %f", l, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestGeneralFormReducesToUniform(t *testing.T) {
+	k := 512
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = 1.0 / float64(k)
+	}
+	f := ExpectedConflicts(p, 8)
+	for _, n := range []int{1, 8, 64} {
+		a := f(n)
+		b := ExpectedConflictsUniform(n, k, 8)
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("n=%d: general=%f uniform=%f", n, a, b)
+		}
+	}
+}
+
+func TestSkewedDistributionConflictsMore(t *testing.T) {
+	k := 1024
+	uniform := make([]float64, k)
+	for i := range uniform {
+		uniform[i] = 1.0 / float64(k)
+	}
+	skewed := make([]float64, k)
+	skewed[0] = 0.5
+	rest := 0.5 / float64(k-1)
+	for i := 1; i < k; i++ {
+		skewed[i] = rest
+	}
+	n := 16
+	if ExpectedConflicts(skewed, 1)(n) <= ExpectedConflicts(uniform, 1)(n) {
+		t.Fatal("skew should increase conflicts")
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if ExpectedConflictsUniform(0, 100, 1) != 0 {
+		t.Fatal("zero requests")
+	}
+	if e := ExpectedConflictsUniform(1, 100, 1); e > 1e-9 {
+		t.Fatalf("single request conflicts: %f", e)
+	}
+	// One giant lock: all but the first request conflict.
+	if e := ExpectedConflictsUniform(10, 100, 100); math.Abs(e-9) > 1e-9 {
+		t.Fatalf("single lock: %f want 9", e)
+	}
+}

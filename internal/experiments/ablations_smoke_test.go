@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSmokeAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, tb := range Ablations(0.15) {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", tb.ID)
+		}
+		fmt.Println(tb.Render())
+	}
+}

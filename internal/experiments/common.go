@@ -1,0 +1,211 @@
+// Package experiments regenerates every table and figure in the KAML
+// paper's evaluation (§V). Each Fig* function builds the systems involved
+// on a fresh virtual clock, runs the paper's workload, and returns a typed
+// table of the same series the paper plots. Absolute numbers come from the
+// simulator's timing model (DESIGN.md §5); the claims to check are the
+// shapes: who wins, by what factor, and where the crossovers sit.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/blockdev"
+	"github.com/kaml-ssd/kaml/internal/cache"
+	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/ftl"
+	"github.com/kaml-ssd/kaml/internal/kamlssd"
+	"github.com/kaml-ssd/kaml/internal/nvme"
+	"github.com/kaml-ssd/kaml/internal/shoremt"
+	"github.com/kaml-ssd/kaml/internal/sim"
+	"github.com/kaml-ssd/kaml/internal/storage"
+)
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID     string // "fig5a", "fig9", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Scale shrinks or grows experiment working sets. 1.0 is the default
+// benchmark size (seconds per figure); tests use smaller values.
+type Scale float64
+
+// microFlash is the device geometry for the microbenchmarks: the paper's
+// 16x4 chip array with a reduced block count so simulated churn stays
+// within host memory.
+func microFlash() flash.Config {
+	fc := flash.DefaultConfig()
+	fc.BlocksPerChip = 16
+	fc.PagesPerBlock = 32
+	return fc
+}
+
+// kamlRig is a KAML SSD plus its simulation engine.
+type kamlRig struct {
+	eng  *sim.Engine
+	arr  *flash.Array
+	ctrl *nvme.Controller
+	dev  *kamlssd.Device
+}
+
+func newKAMLRig(fc flash.Config, mod func(*kamlssd.Config)) *kamlRig {
+	eng := sim.NewEngine()
+	arr := flash.New(eng, fc)
+	ctrl := nvme.New(eng, nvme.DefaultConfig())
+	cfg := kamlssd.DefaultConfig(fc)
+	if mod != nil {
+		mod(&cfg)
+	}
+	return &kamlRig{eng: eng, arr: arr, ctrl: ctrl, dev: kamlssd.New(arr, ctrl, cfg)}
+}
+
+// blockRig is the baseline block SSD plus its simulation engine.
+type blockRig struct {
+	eng  *sim.Engine
+	arr  *flash.Array
+	ctrl *nvme.Controller
+	dev  *ftl.Device
+}
+
+func newBlockRig(fc flash.Config) *blockRig {
+	eng := sim.NewEngine()
+	arr := flash.New(eng, fc)
+	ctrl := nvme.New(eng, nvme.DefaultConfig())
+	return &blockRig{eng: eng, arr: arr, ctrl: ctrl, dev: ftl.New(arr, ctrl, ftl.DefaultConfig(fc))}
+}
+
+// measure runs `op` on `workers` concurrent actors for a warmup plus a
+// measurement window of virtual time, and returns completed operations in
+// the window. op returns false to stop its worker early (fatal error).
+func measure(eng *sim.Engine, workers int, warmup, window time.Duration,
+	op func(worker int, rng *rand.Rand) bool) int64 {
+
+	var counting atomic.Bool
+	var stop atomic.Bool
+	var ops atomic.Int64
+	wg := eng.NewWaitGroup()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		eng.Go(fmt.Sprintf("bench-w%d", w), func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 13))
+			for !stop.Load() {
+				if !op(w, rng) {
+					return
+				}
+				if counting.Load() {
+					ops.Add(1)
+				}
+			}
+		})
+	}
+	eng.Go("bench-clock", func() {
+		eng.Sleep(warmup)
+		counting.Store(true)
+		eng.Sleep(window)
+		counting.Store(false)
+		stop.Store(true)
+	})
+	wg.Wait()
+	return ops.Load()
+}
+
+// mbps converts (ops x bytesPerOp) over window to MB/s.
+func mbps(ops int64, bytesPerOp int, window time.Duration) float64 {
+	return float64(ops) * float64(bytesPerOp) / window.Seconds() / 1e6
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// newEngines builds the KAML caching-layer engine and the Shore-MT engine
+// for OLTP/YCSB comparisons. Each gets its own fresh simulation.
+type engineKind int
+
+const (
+	engineKAML engineKind = iota
+	engineShore
+)
+
+type oltpRig struct {
+	eng     *sim.Engine
+	kind    engineKind
+	kaml    *cache.Cache
+	shore   *shoremt.Engine
+	closeFn func()
+}
+
+func newOLTPRig(kind engineKind, fc flash.Config, cacheBytes int64, recordsPerLock int,
+	shoreLockGran int, shorePoolFrames int) *oltpRig {
+
+	eng := sim.NewEngine()
+	arr := flash.New(eng, fc)
+	ctrl := nvme.New(eng, nvme.DefaultConfig())
+	r := &oltpRig{eng: eng, kind: kind}
+	switch kind {
+	case engineKAML:
+		cfg := kamlssd.DefaultConfig(fc)
+		dev := kamlssd.New(arr, ctrl, cfg)
+		r.kaml = cache.New(dev, cache.Config{
+			CapacityBytes:  cacheBytes,
+			RecordsPerLock: recordsPerLock,
+		})
+		r.closeFn = r.kaml.Close
+	case engineShore:
+		dev := blockdev.New(ftl.New(arr, ctrl, ftl.DefaultConfig(fc)))
+		cfg := shoremt.DefaultConfig()
+		cfg.RecordsPerLock = shoreLockGran
+		cfg.PoolFrames = shorePoolFrames
+		cfg.LogPages = 256
+		r.shore = shoremt.New(dev, eng, cfg)
+		r.closeFn = r.shore.Close
+	}
+	return r
+}
+
+// storageEngine returns the rig's engine behind the neutral interface.
+func (r *oltpRig) storageEngine() storage.Engine {
+	if r.kind == engineKAML {
+		return r.kaml
+	}
+	return r.shore
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// These tests pin the paper's qualitative claims at a tiny scale so a
+// regression in any layer (timing model, firmware, engines) that flips a
+// headline result fails fast in `go test ./...`.
+
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	if len(s) > 0 && s[len(s)-1] == 'x' {
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestShapeFig6SmallUpdatePutBeatsWrite(t *testing.T) {
+	tables := Fig6(0.1)
+	update := tables[1]
+	write512 := cell(t, update.Rows[0][1])
+	put512 := cell(t, update.Rows[0][3])
+	// Paper: Put latency ~20% of write for small updates (RMW cliff).
+	if put512 >= write512*0.5 {
+		t.Fatalf("small-update Put (%v us) should be well below write (%v us)", put512, write512)
+	}
+	// Paper: the write cliff disappears at 4KB.
+	write4k := cell(t, update.Rows[3][1])
+	if write4k >= write512 {
+		t.Fatalf("write@4KB (%v) should beat write@512 (%v)", write4k, write512)
+	}
+	// Paper Fig. 6a: Get ~= read.
+	fetch := tables[0]
+	read := cell(t, fetch.Rows[0][1])
+	get := cell(t, fetch.Rows[0][3])
+	if get > read*1.1 || get < read*0.8 {
+		t.Fatalf("Get (%v us) should be close to read (%v us)", get, read)
+	}
+	// Paper Fig. 6c: Insert Put is slower than Update Put (hash entry
+	// allocation) but cheaper than a small RMW write.
+	insert := tables[2]
+	insPut := cell(t, insert.Rows[0][3])
+	insWrite := cell(t, insert.Rows[0][1])
+	if insPut <= put512 {
+		t.Fatalf("insert Put (%v) should exceed update Put (%v)", insPut, put512)
+	}
+	if insPut >= insWrite {
+		t.Fatalf("insert Put (%v) should beat small insert write (%v)", insPut, insWrite)
+	}
+}
+
+func TestShapeConflictsMonotonic(t *testing.T) {
+	tab := Conflicts(0.1)
+	prev := -1.0
+	for _, row := range tab.Rows {
+		v := cell(t, row[1])
+		if v < prev {
+			t.Fatalf("conflicts not monotonic in granularity: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSmokeFig6(t *testing.T) {
+	for _, tb := range Fig6(0.2) {
+		fmt.Println(tb.Render())
+	}
+}
+
+func TestSmokeFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, tb := range Fig5(0.15) {
+		fmt.Println(tb.Render())
+	}
+}
+
+func TestSmokeFig78(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, tb := range Fig7(0.15) {
+		fmt.Println(tb.Render())
+	}
+	fmt.Println(Fig8(0.15).Render())
+}
+
+func TestSmokeFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	fmt.Println(Fig9(0.2).Render())
+}
+
+func TestSmokeFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	fmt.Println(Fig10(0.2).Render())
+	fmt.Println(Conflicts(0.2).Render())
+}

@@ -1,0 +1,331 @@
+// Package flash simulates a NAND flash array like the one on the SSD
+// prototyping board used by the KAML paper (HPCA 2017): multiple channels,
+// several chips per channel, erase blocks of sequentially-programmed pages,
+// and a per-page out-of-band (OOB) region.
+//
+// The simulator enforces real NAND semantics — pages are immutable once
+// programmed, pages within a block must be programmed in order, a block must
+// be erased before reuse, and each block endures a bounded number of erases —
+// and charges realistic virtual time for every operation: chips serve one
+// read/program/erase at a time, and all chips on a channel share that
+// channel's data bus for transfers.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/sim"
+)
+
+// Errors returned by array operations.
+var (
+	ErrOutOfRange      = errors.New("flash: address out of range")
+	ErrPageNotWritten  = errors.New("flash: read of unwritten page")
+	ErrPageWritten     = errors.New("flash: program of already-written page")
+	ErrProgramOrder    = errors.New("flash: pages within a block must be programmed sequentially")
+	ErrWornOut         = errors.New("flash: block exceeded erase endurance")
+	ErrInjectedFailure = errors.New("flash: injected failure")
+)
+
+// Config describes the geometry and timing of a flash array. The defaults
+// mirror the paper's board: 16 channels x 4 chips, 8 KB + 256 B pages.
+type Config struct {
+	Channels        int
+	ChipsPerChannel int
+	BlocksPerChip   int
+	PagesPerBlock   int
+	PageSize        int // data bytes per page
+	OOBSize         int // out-of-band bytes per page
+
+	ReadLatency    time.Duration // cell array -> chip register
+	ProgramLatency time.Duration // chip register -> cell array
+	EraseLatency   time.Duration
+	ChannelMBps    int // shared per-channel transfer rate, MB/s
+
+	EraseEndurance int // erases before a block becomes unreliable (0 = unlimited)
+}
+
+// DefaultConfig returns the geometry and timing used throughout the
+// reproduction; see DESIGN.md §5.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        16,
+		ChipsPerChannel: 4,
+		BlocksPerChip:   64,
+		PagesPerBlock:   64,
+		PageSize:        8192,
+		OOBSize:         256,
+		ReadLatency:     70 * time.Microsecond,
+		ProgramLatency:  400 * time.Microsecond,
+		EraseLatency:    3 * time.Millisecond,
+		ChannelMBps:     400,
+		EraseEndurance:  10000,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || c.ChipsPerChannel <= 0:
+		return fmt.Errorf("flash: bad geometry %dx%d", c.Channels, c.ChipsPerChannel)
+	case c.BlocksPerChip <= 0 || c.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: bad block geometry %d blocks x %d pages", c.BlocksPerChip, c.PagesPerBlock)
+	case c.PageSize <= 0 || c.OOBSize < 0:
+		return fmt.Errorf("flash: bad page size %d+%d", c.PageSize, c.OOBSize)
+	case c.ChannelMBps <= 0:
+		return fmt.Errorf("flash: bad channel rate %d", c.ChannelMBps)
+	}
+	return nil
+}
+
+// Chips returns the total chip count.
+func (c Config) Chips() int { return c.Channels * c.ChipsPerChannel }
+
+// PagesPerChip returns pages per chip.
+func (c Config) PagesPerChip() int { return c.BlocksPerChip * c.PagesPerBlock }
+
+// TotalPages returns the total page count across the array.
+func (c Config) TotalPages() int { return c.Chips() * c.PagesPerChip() }
+
+// TransferTime returns how long n bytes occupy a channel's bus.
+func (c Config) TransferTime(n int) time.Duration {
+	return time.Duration(n) * time.Second / time.Duration(c.ChannelMBps*1_000_000)
+}
+
+// PPN is a physical page number: a flat index over the whole array.
+// Layout: chip-major, so consecutive PPNs within a block stay on one chip.
+type PPN uint32
+
+// InvalidPPN is a sentinel that never addresses a real page.
+const InvalidPPN = PPN(^uint32(0))
+
+// Addr is a decoded physical page address.
+type Addr struct {
+	Channel int
+	Chip    int // within channel
+	Block   int // within chip
+	Page    int // within block
+}
+
+// Array is a simulated flash array. All operations charge virtual time on
+// the owning sim.Engine and are safe for concurrent use by actors.
+type Array struct {
+	cfg      Config
+	eng      *sim.Engine
+	channels []*sim.Mutex // per-channel bus
+	chips    []*chipState // flat: channel*ChipsPerChannel + chip
+
+	// Stats counters; atomic because woken actors may run in parallel.
+	reads    atomic.Int64
+	programs atomic.Int64
+	erases   atomic.Int64
+}
+
+type chipState struct {
+	mu     *sim.Mutex // serializes ops on this chip
+	blocks []blockState
+}
+
+type blockState struct {
+	erases      int
+	nextPage    int // next programmable page index; PagesPerBlock when full
+	data        [][]byte
+	oob         [][]byte
+	failedErase bool // error injection: next erase fails
+}
+
+// New constructs an array on engine e. Panics on invalid config (programmer
+// error, caught at device construction time).
+func New(e *sim.Engine, cfg Config) *Array {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Array{cfg: cfg, eng: e}
+	a.channels = make([]*sim.Mutex, cfg.Channels)
+	for i := range a.channels {
+		a.channels[i] = e.NewMutex(fmt.Sprintf("flash-ch%d", i))
+	}
+	a.chips = make([]*chipState, cfg.Chips())
+	for i := range a.chips {
+		blocks := make([]blockState, cfg.BlocksPerChip)
+		for b := range blocks {
+			blocks[b] = blockState{
+				data: make([][]byte, cfg.PagesPerBlock),
+				oob:  make([][]byte, cfg.PagesPerBlock),
+			}
+		}
+		a.chips[i] = &chipState{
+			mu:     e.NewMutex(fmt.Sprintf("flash-chip%d", i)),
+			blocks: blocks,
+		}
+	}
+	return a
+}
+
+// Config returns the array's configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Engine returns the owning simulation engine.
+func (a *Array) Engine() *sim.Engine { return a.eng }
+
+// Decode splits a PPN into its physical coordinates.
+func (a *Array) Decode(p PPN) Addr {
+	ppc := a.cfg.PagesPerChip()
+	chip := int(p) / ppc
+	rest := int(p) % ppc
+	return Addr{
+		Channel: chip / a.cfg.ChipsPerChannel,
+		Chip:    chip % a.cfg.ChipsPerChannel,
+		Block:   rest / a.cfg.PagesPerBlock,
+		Page:    rest % a.cfg.PagesPerBlock,
+	}
+}
+
+// Encode builds a PPN from physical coordinates.
+func (a *Array) Encode(addr Addr) PPN {
+	chip := addr.Channel*a.cfg.ChipsPerChannel + addr.Chip
+	return PPN(chip*a.cfg.PagesPerChip() + addr.Block*a.cfg.PagesPerBlock + addr.Page)
+}
+
+// BlockPPN returns the PPN of page `page` of block `block` on the given chip.
+func (a *Array) BlockPPN(channel, chip, block, page int) PPN {
+	return a.Encode(Addr{Channel: channel, Chip: chip, Block: block, Page: page})
+}
+
+func (a *Array) locate(p PPN) (*chipState, *blockState, Addr, error) {
+	if int(p) >= a.cfg.TotalPages() {
+		return nil, nil, Addr{}, fmt.Errorf("%w: ppn %d", ErrOutOfRange, p)
+	}
+	addr := a.Decode(p)
+	cs := a.chips[addr.Channel*a.cfg.ChipsPerChannel+addr.Chip]
+	return cs, &cs.blocks[addr.Block], addr, nil
+}
+
+// ReadPage reads a full page (data + OOB). The returned slices are copies.
+// Timing: chip busy for ReadLatency, then the channel bus is held while the
+// page transfers to the controller.
+func (a *Array) ReadPage(p PPN) (data, oob []byte, err error) {
+	cs, bs, addr, err := a.locate(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	cs.mu.Lock()
+	if bs.data[addr.Page] == nil {
+		cs.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: ppn %d", ErrPageNotWritten, p)
+	}
+	a.eng.Sleep(a.cfg.ReadLatency)
+	data = append([]byte(nil), bs.data[addr.Page]...)
+	oob = append([]byte(nil), bs.oob[addr.Page]...)
+	a.reads.Add(1)
+	cs.mu.Unlock()
+	a.channels[addr.Channel].Use(a.cfg.TransferTime(a.cfg.PageSize + a.cfg.OOBSize))
+	return data, oob, nil
+}
+
+// ProgramPage writes a full page. data must be at most PageSize bytes and
+// oob at most OOBSize bytes; both are padded to full length internally.
+// Timing: the channel bus is held for the transfer, then the chip is busy
+// for ProgramLatency.
+func (a *Array) ProgramPage(p PPN, data, oob []byte) error {
+	if len(data) > a.cfg.PageSize || len(oob) > a.cfg.OOBSize {
+		return fmt.Errorf("flash: program size %d+%d exceeds page %d+%d",
+			len(data), len(oob), a.cfg.PageSize, a.cfg.OOBSize)
+	}
+	cs, bs, addr, err := a.locate(p)
+	if err != nil {
+		return err
+	}
+	a.channels[addr.Channel].Use(a.cfg.TransferTime(a.cfg.PageSize + a.cfg.OOBSize))
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if a.cfg.EraseEndurance > 0 && bs.erases > a.cfg.EraseEndurance {
+		return fmt.Errorf("%w: chip %d/%d block %d", ErrWornOut, addr.Channel, addr.Chip, addr.Block)
+	}
+	if bs.data[addr.Page] != nil {
+		return fmt.Errorf("%w: ppn %d", ErrPageWritten, p)
+	}
+	if addr.Page != bs.nextPage {
+		return fmt.Errorf("%w: block %d expects page %d, got %d",
+			ErrProgramOrder, addr.Block, bs.nextPage, addr.Page)
+	}
+	a.eng.Sleep(a.cfg.ProgramLatency)
+	stored := make([]byte, a.cfg.PageSize)
+	copy(stored, data)
+	soob := make([]byte, a.cfg.OOBSize)
+	copy(soob, oob)
+	bs.data[addr.Page] = stored
+	bs.oob[addr.Page] = soob
+	bs.nextPage++
+	a.programs.Add(1)
+	return nil
+}
+
+// EraseBlock erases the block containing PPN p (its page component is
+// ignored). Timing: chip busy for EraseLatency.
+func (a *Array) EraseBlock(p PPN) error {
+	cs, bs, addr, err := a.locate(p)
+	if err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	a.eng.Sleep(a.cfg.EraseLatency)
+	if bs.failedErase {
+		bs.failedErase = false
+		return fmt.Errorf("%w: erase of chip %d/%d block %d", ErrInjectedFailure, addr.Channel, addr.Chip, addr.Block)
+	}
+	bs.erases++
+	if a.cfg.EraseEndurance > 0 && bs.erases > a.cfg.EraseEndurance {
+		return fmt.Errorf("%w: chip %d/%d block %d", ErrWornOut, addr.Channel, addr.Chip, addr.Block)
+	}
+	for i := range bs.data {
+		bs.data[i] = nil
+		bs.oob[i] = nil
+	}
+	bs.nextPage = 0
+	a.erases.Add(1)
+	return nil
+}
+
+// ProgrammedPages returns how many pages of the block containing p have
+// been programmed since the last erase (metadata query; no timing cost).
+// Recovery code uses it to re-synchronize append points after a crash.
+func (a *Array) ProgrammedPages(p PPN) int {
+	_, bs, _, err := a.locate(p)
+	if err != nil {
+		return -1
+	}
+	return bs.nextPage
+}
+
+// EraseCount returns how many times the block containing p has been erased.
+func (a *Array) EraseCount(p PPN) int {
+	_, bs, _, err := a.locate(p)
+	if err != nil {
+		return -1
+	}
+	return bs.erases
+}
+
+// InjectEraseFailure makes the next erase of the block containing p fail,
+// for fault-injection tests.
+func (a *Array) InjectEraseFailure(p PPN) {
+	_, bs, _, err := a.locate(p)
+	if err == nil {
+		bs.failedErase = true
+	}
+}
+
+// Stats reports cumulative operation counts.
+type Stats struct {
+	Reads, Programs, Erases int64
+}
+
+// Stats returns a snapshot of the array's counters.
+func (a *Array) Stats() Stats {
+	return Stats{Reads: a.reads.Load(), Programs: a.programs.Load(), Erases: a.erases.Load()}
+}

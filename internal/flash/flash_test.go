@@ -1,0 +1,248 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/sim"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	cfg.ChipsPerChannel = 2
+	cfg.BlocksPerChip = 4
+	cfg.PagesPerBlock = 8
+	return cfg
+}
+
+// run executes fn as the sole actor on a fresh engine and array.
+func run(t *testing.T, cfg Config, fn func(e *sim.Engine, a *Array)) {
+	t.Helper()
+	e := sim.NewEngine()
+	a := New(e, cfg)
+	e.Go("test", func() { fn(e, a) })
+	e.Wait()
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		p := a.BlockPPN(0, 0, 0, 0)
+		data := bytes.Repeat([]byte{0xAB}, 100)
+		oob := []byte{1, 2, 3}
+		if err := a.ProgramPage(p, data, oob); err != nil {
+			t.Fatal(err)
+		}
+		got, gotOOB, err := a.ReadPage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:100], data) {
+			t.Error("data mismatch")
+		}
+		if len(got) != a.Config().PageSize {
+			t.Errorf("page padded to %d, want %d", len(got), a.Config().PageSize)
+		}
+		if !bytes.Equal(gotOOB[:3], oob) {
+			t.Error("oob mismatch")
+		}
+	})
+}
+
+func TestReadUnwrittenFails(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		_, _, err := a.ReadPage(5)
+		if !errors.Is(err, ErrPageNotWritten) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestProgramTwiceFails(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		p := a.BlockPPN(0, 0, 0, 0)
+		if err := a.ProgramPage(p, []byte{1}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ProgramPage(p, []byte{2}, nil); !errors.Is(err, ErrPageWritten) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestProgramOrderEnforced(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		if err := a.ProgramPage(a.BlockPPN(0, 0, 0, 2), []byte{1}, nil); !errors.Is(err, ErrProgramOrder) {
+			t.Fatalf("err=%v", err)
+		}
+		// Sequential order succeeds.
+		for i := 0; i < 3; i++ {
+			if err := a.ProgramPage(a.BlockPPN(0, 0, 0, i), []byte{byte(i)}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestEraseResetsBlock(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		p0 := a.BlockPPN(0, 0, 1, 0)
+		if err := a.ProgramPage(p0, []byte{7}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.EraseBlock(p0); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := a.ReadPage(p0); !errors.Is(err, ErrPageNotWritten) {
+			t.Fatalf("read after erase: %v", err)
+		}
+		if a.EraseCount(p0) != 1 {
+			t.Fatalf("erase count %d", a.EraseCount(p0))
+		}
+		// Reprogrammable from page 0.
+		if err := a.ProgramPage(p0, []byte{8}, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestOutOfRange(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		bad := PPN(a.Config().TotalPages())
+		if _, _, err := a.ReadPage(bad); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("err=%v", err)
+		}
+		if err := a.ProgramPage(bad, nil, nil); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("err=%v", err)
+		}
+		if err := a.EraseBlock(bad); !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestOversizeProgramRejected(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		big := make([]byte, a.Config().PageSize+1)
+		if err := a.ProgramPage(0, big, nil); err == nil {
+			t.Fatal("oversize program accepted")
+		}
+	})
+}
+
+func TestEnduranceLimit(t *testing.T) {
+	cfg := smallConfig()
+	cfg.EraseEndurance = 3
+	run(t, cfg, func(e *sim.Engine, a *Array) {
+		p := a.BlockPPN(0, 0, 0, 0)
+		for i := 0; i < 3; i++ {
+			if err := a.EraseBlock(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.EraseBlock(p); !errors.Is(err, ErrWornOut) {
+			t.Fatalf("err=%v", err)
+		}
+		if err := a.ProgramPage(p, []byte{1}, nil); !errors.Is(err, ErrWornOut) {
+			t.Fatalf("program on worn block: %v", err)
+		}
+	})
+}
+
+func TestInjectedEraseFailure(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		p := a.BlockPPN(1, 0, 2, 0)
+		a.InjectEraseFailure(p)
+		if err := a.EraseBlock(p); !errors.Is(err, ErrInjectedFailure) {
+			t.Fatalf("err=%v", err)
+		}
+		// Failure is one-shot.
+		if err := a.EraseBlock(p); err != nil {
+			t.Fatalf("second erase: %v", err)
+		}
+	})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	e := sim.NewEngine()
+	a := New(e, cfg)
+	f := func(raw uint32) bool {
+		p := PPN(raw % uint32(cfg.TotalPages()))
+		addr := a.Decode(p)
+		if addr.Channel < 0 || addr.Channel >= cfg.Channels ||
+			addr.Chip < 0 || addr.Chip >= cfg.ChipsPerChannel ||
+			addr.Block < 0 || addr.Block >= cfg.BlocksPerChip ||
+			addr.Page < 0 || addr.Page >= cfg.PagesPerBlock {
+			return false
+		}
+		return a.Encode(addr) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChipSerializationTiming(t *testing.T) {
+	// Two programs to the same chip serialize; to different channels overlap.
+	cfg := smallConfig()
+	e := sim.NewEngine()
+	a := New(e, cfg)
+	var sameChip, diffChan time.Duration
+	e.Go("same-chip", func() {
+		wg := e.NewWaitGroup()
+		start := e.Now()
+		for i := 0; i < 2; i++ {
+			i := i
+			wg.Add(1)
+			e.Go("w", func() {
+				defer wg.Done()
+				if err := a.ProgramPage(a.BlockPPN(0, 0, i, 0), []byte{1}, nil); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		wg.Wait()
+		sameChip = e.Now() - start
+
+		start = e.Now()
+		wg2 := e.NewWaitGroup()
+		for c := 0; c < 2; c++ {
+			c := c
+			wg2.Add(1)
+			e.Go("w", func() {
+				defer wg2.Done()
+				if err := a.ProgramPage(a.BlockPPN(c, 0, 2, 0), []byte{1}, nil); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		wg2.Wait()
+		diffChan = e.Now() - start
+	})
+	e.Wait()
+	if sameChip <= diffChan {
+		t.Fatalf("same-chip %v should exceed cross-channel %v", sameChip, diffChan)
+	}
+	// Cross-channel programs should cost ~one program + one transfer.
+	oneOp := cfg.ProgramLatency + cfg.TransferTime(cfg.PageSize+cfg.OOBSize)
+	if diffChan > oneOp+time.Microsecond {
+		t.Fatalf("cross-channel %v exceeds single op %v", diffChan, oneOp)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	run(t, smallConfig(), func(e *sim.Engine, a *Array) {
+		p := a.BlockPPN(0, 0, 0, 0)
+		_ = a.ProgramPage(p, []byte{1}, nil)
+		_, _, _ = a.ReadPage(p)
+		_ = a.EraseBlock(p)
+		s := a.Stats()
+		if s.Programs != 1 || s.Reads != 1 || s.Erases != 1 {
+			t.Fatalf("stats=%+v", s)
+		}
+	})
+}

@@ -1,0 +1,249 @@
+// Package hashindex implements the per-namespace mapping tables KAML keeps
+// in on-SSD DRAM (paper §IV-C): open-addressing hash tables from 64-bit
+// application keys to packed physical locations.
+//
+// The table deliberately exposes how many entries each operation scanned
+// ("probes"): the firmware charges controller CPU time per probed entry,
+// which is what makes Get bandwidth degrade as the table's load factor grows
+// (paper Fig. 5a). Capacity is fixed at construction unless AutoGrow is set,
+// mirroring the paper's fixed 1024 MB table experiments.
+package hashindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrFull is returned by Put when the table has no free slot.
+var ErrFull = errors.New("hashindex: table full")
+
+// ErrNotFound is returned when a key has no entry.
+var ErrNotFound = errors.New("hashindex: key not found")
+
+const (
+	slotEmpty = iota
+	slotUsed
+	slotTombstone
+)
+
+// Table is a fixed-capacity open-addressing hash table with linear probing
+// and tombstone deletion. It is not safe for concurrent use; the firmware
+// serializes access per namespace.
+type Table struct {
+	keys     []uint64
+	vals     []uint64
+	state    []uint8
+	mask     uint64
+	used     int // live entries
+	ghosts   int // tombstones
+	AutoGrow bool
+}
+
+// New returns a table with capacity for at least capacity entries,
+// rounded up to a power of two.
+func New(capacity int) *Table {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	return &Table{
+		keys:  make([]uint64, n),
+		vals:  make([]uint64, n),
+		state: make([]uint8, n),
+		mask:  uint64(n - 1),
+	}
+}
+
+// Capacity returns the number of slots.
+func (t *Table) Capacity() int { return len(t.keys) }
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return t.used }
+
+// LoadFactor returns live entries / capacity.
+func (t *Table) LoadFactor() float64 { return float64(t.used) / float64(len(t.keys)) }
+
+// hash mixes a 64-bit key (splitmix64 finalizer).
+func hash(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// Get looks up key. probes is the number of slots scanned.
+func (t *Table) Get(key uint64) (val uint64, probes int, err error) {
+	i := hash(key) & t.mask
+	for p := 1; p <= len(t.keys); p++ {
+		switch t.state[i] {
+		case slotEmpty:
+			return 0, p, ErrNotFound
+		case slotUsed:
+			if t.keys[i] == key {
+				return t.vals[i], p, nil
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+	return 0, len(t.keys), ErrNotFound
+}
+
+// Put inserts or updates key. probes is the number of slots scanned;
+// existed reports whether the key was already present.
+func (t *Table) Put(key, val uint64) (probes int, existed bool, err error) {
+	if t.AutoGrow && t.used+t.ghosts >= len(t.keys)*3/4 {
+		t.rehash(len(t.keys) * 2)
+	}
+	i := hash(key) & t.mask
+	firstFree := -1
+	for p := 1; p <= len(t.keys); p++ {
+		switch t.state[i] {
+		case slotEmpty:
+			if firstFree >= 0 {
+				i = uint64(firstFree)
+				t.ghosts--
+			}
+			t.keys[i] = key
+			t.vals[i] = val
+			t.state[i] = slotUsed
+			t.used++
+			return p, false, nil
+		case slotTombstone:
+			if firstFree < 0 {
+				firstFree = int(i)
+			}
+		case slotUsed:
+			if t.keys[i] == key {
+				t.vals[i] = val
+				return p, true, nil
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+	if firstFree >= 0 {
+		t.keys[firstFree] = key
+		t.vals[firstFree] = val
+		t.state[firstFree] = slotUsed
+		t.ghosts--
+		t.used++
+		return len(t.keys), false, nil
+	}
+	return len(t.keys), false, ErrFull
+}
+
+// Delete removes key. probes is the number of slots scanned.
+func (t *Table) Delete(key uint64) (probes int, err error) {
+	i := hash(key) & t.mask
+	for p := 1; p <= len(t.keys); p++ {
+		switch t.state[i] {
+		case slotEmpty:
+			return p, ErrNotFound
+		case slotUsed:
+			if t.keys[i] == key {
+				t.state[i] = slotTombstone
+				t.used--
+				t.ghosts++
+				return p, nil
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+	return len(t.keys), ErrNotFound
+}
+
+// Range calls fn for every live entry until fn returns false.
+func (t *Table) Range(fn func(key, val uint64) bool) {
+	for i, st := range t.state {
+		if st == slotUsed {
+			if !fn(t.keys[i], t.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// rehash rebuilds the table with newCap slots, dropping tombstones.
+func (t *Table) rehash(newCap int) {
+	old := *t
+	n := 8
+	for n < newCap {
+		n <<= 1
+	}
+	t.keys = make([]uint64, n)
+	t.vals = make([]uint64, n)
+	t.state = make([]uint8, n)
+	t.mask = uint64(n - 1)
+	t.used = 0
+	t.ghosts = 0
+	for i, st := range old.state {
+		if st == slotUsed {
+			_, _, err := t.Put(old.keys[i], old.vals[i])
+			if err != nil {
+				panic("hashindex: rehash overflow")
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the table (snapshot support).
+func (t *Table) Clone() *Table {
+	c := &Table{
+		keys:     append([]uint64(nil), t.keys...),
+		vals:     append([]uint64(nil), t.vals...),
+		state:    append([]uint8(nil), t.state...),
+		mask:     t.mask,
+		used:     t.used,
+		ghosts:   t.ghosts,
+		AutoGrow: t.AutoGrow,
+	}
+	return c
+}
+
+// Compact rebuilds the table at its current capacity to drop tombstones.
+func (t *Table) Compact() { t.rehash(len(t.keys)) }
+
+// MemoryBytes estimates the table's DRAM footprint (17 bytes/slot).
+func (t *Table) MemoryBytes() int { return len(t.keys) * 17 }
+
+// Serialize writes the table's live entries in a flat format:
+// 8-byte count, then (key, val) pairs. Used when the firmware swaps an
+// idle namespace's table out to flash (paper §IV-C).
+func (t *Table) Serialize() []byte {
+	out := make([]byte, 8, 8+16*t.used)
+	binary.LittleEndian.PutUint64(out, uint64(t.used))
+	var kv [16]byte
+	t.Range(func(k, v uint64) bool {
+		binary.LittleEndian.PutUint64(kv[0:8], k)
+		binary.LittleEndian.PutUint64(kv[8:16], v)
+		out = append(out, kv[:]...)
+		return true
+	})
+	return out
+}
+
+// Deserialize rebuilds a table from Serialize output, sized to hold the
+// entries at the given target load factor.
+func Deserialize(b []byte, targetLoad float64) (*Table, error) {
+	if len(b) < 8 {
+		return nil, errors.New("hashindex: short serialization")
+	}
+	n := binary.LittleEndian.Uint64(b)
+	if uint64(len(b)-8) < n*16 {
+		return nil, fmt.Errorf("hashindex: %d entries but only %d bytes", n, len(b)-8)
+	}
+	if targetLoad <= 0 || targetLoad > 1 {
+		targetLoad = 0.75
+	}
+	t := New(int(float64(n)/targetLoad) + 8)
+	for i := uint64(0); i < n; i++ {
+		k := binary.LittleEndian.Uint64(b[8+i*16:])
+		v := binary.LittleEndian.Uint64(b[16+i*16:])
+		if _, _, err := t.Put(k, v); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,341 @@
+// Package kamlssd implements the paper's primary contribution: the
+// key-addressable, multi-log SSD firmware (KAML, HPCA 2017).
+//
+// The firmware manages the flash array as a set of append-only logs, one
+// active append point per log, striped over the array's chips. Applications
+// create key-value namespaces; each namespace owns a hash mapping table
+// (key -> physical location) in on-SSD DRAM and is assigned a subset of the
+// logs. Put atomically inserts or updates a batch of variable-sized records:
+// phase 1 lands the batch in battery-backed NVRAM and updates the indices to
+// point at the NVRAM copies (logical commit — the host is acknowledged
+// here); phase 2 programs sealed pages to flash in the background; phase 3
+// swings each index entry to its flash address unless a newer version
+// superseded it mid-flight. Get resolves a key through the namespace index
+// and serves the value from NVRAM or flash. A per-log garbage collector
+// reclaims blocks chosen by low erase count and low valid-byte count,
+// re-validating every scanned record against the index (§IV-E).
+package kamlssd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/nvme"
+	"github.com/kaml-ssd/kaml/internal/record"
+	"github.com/kaml-ssd/kaml/internal/sim"
+)
+
+// Errors returned by device operations.
+var (
+	ErrNoNamespace   = errors.New("kamlssd: no such namespace")
+	ErrKeyNotFound   = errors.New("kamlssd: key not found")
+	ErrClosed        = errors.New("kamlssd: device closed")
+	ErrValueTooLarge = errors.New("kamlssd: value exceeds one flash page")
+	ErrBadBatch      = errors.New("kamlssd: malformed Put batch")
+	ErrIndexFull     = errors.New("kamlssd: namespace mapping table full")
+	ErrSwappedOut    = errors.New("kamlssd: namespace index swapped out")
+)
+
+// Config tunes the KAML firmware.
+type Config struct {
+	NumLogs          int           // append streams; paper sweeps 16..64 (Fig. 8)
+	ChunkSize        int           // record allocation unit within a page
+	QueueDepthPerLog int           // sealed NVRAM pages a log may buffer before Put blocks
+	FlushPoll        time.Duration // max time a partially-filled page waits in NVRAM
+	GCPoll           time.Duration
+	GCLowWater       int // free blocks per log that trigger GC
+	GCHighWater      int
+	DefaultIndexCap  int  // default per-namespace mapping-table capacity
+	AutoGrowIndex    bool // let mapping tables grow (off for paper experiments)
+}
+
+// DefaultConfig matches DESIGN.md §5: one log per channel by default.
+func DefaultConfig(fc flash.Config) Config {
+	return Config{
+		NumLogs:          fc.Channels,
+		ChunkSize:        record.DefaultChunkSize,
+		QueueDepthPerLog: 2,
+		FlushPoll:        50 * time.Microsecond,
+		GCPoll:           200 * time.Microsecond,
+		GCLowWater:       3,
+		GCHighWater:      5,
+		DefaultIndexCap:  1 << 16,
+		AutoGrowIndex:    false,
+	}
+}
+
+// NamespaceAttrs configure CreateNamespace.
+type NamespaceAttrs struct {
+	IndexCapacity int       // mapping-table capacity (0 = device default)
+	NumLogs       int       // how many of the device's logs to append to (0 = all)
+	Index         IndexKind // mapping-table structure (hash default; §IV-C)
+}
+
+// Device is the KAML SSD.
+type Device struct {
+	cfg  Config
+	fc   flash.Config
+	arr  *flash.Array
+	ctrl *nvme.Controller
+	eng  *sim.Engine
+
+	mu *sim.Mutex // guards all firmware metadata (namespaces, logs, nvram)
+
+	namespaces map[uint32]*namespace
+	nextNSID   uint32
+
+	logs []*logState
+
+	nvram  map[uint64][]byte // logically-committed values not yet index-installed
+	nvSeq  uint64
+	keyLks *keyLockTable
+
+	closed       bool
+	crashed      bool // power-cut: actors exit without draining
+	flushersLive int  // flusher actors still running; GC outlives them
+	stopped      *sim.WaitGroup
+
+	stats Stats
+}
+
+// Stats counts firmware activity.
+type Stats struct {
+	Gets, Puts, PutRecords int64
+	NVRAMHits              int64 // Gets served from NVRAM
+	Programs               int64
+	GCCopies, GCErases     int64
+	IndexProbes            int64
+	BytesWritten           int64 // host payload bytes accepted
+	FlashBytesWritten      int64 // pages programmed x page size (write amp)
+}
+
+// namespace is one key-value namespace.
+type namespace struct {
+	id      uint32
+	index   nsIndex
+	logIDs  []int
+	rr      int // round-robin cursor over logIDs
+	swapped bool
+	loading bool // an actor is reloading the index from flash
+	// swapPages holds the flash pages of a swapped-out index.
+	swapPages []flash.PPN
+	// origin is the family root whose records this namespace references
+	// (non-zero only for snapshots); readonly marks snapshots.
+	origin   uint32
+	readonly bool
+}
+
+// New builds a KAML device on the array and transport and starts its
+// background actors (one flusher per log plus one GC actor). Close must be
+// called before draining the simulation.
+func New(arr *flash.Array, ctrl *nvme.Controller, cfg Config) *Device {
+	fc := arr.Config()
+	if cfg.NumLogs <= 0 || cfg.NumLogs > fc.Chips() {
+		panic(fmt.Sprintf("kamlssd: NumLogs %d must be in 1..%d", cfg.NumLogs, fc.Chips()))
+	}
+	if cfg.ChunkSize <= 0 || fc.PageSize%cfg.ChunkSize != 0 || fc.PageSize/cfg.ChunkSize > 64 {
+		panic("kamlssd: bad chunk size")
+	}
+	d := &Device{
+		cfg:        cfg,
+		fc:         fc,
+		arr:        arr,
+		ctrl:       ctrl,
+		eng:        arr.Engine(),
+		namespaces: make(map[uint32]*namespace),
+		nextNSID:   1,
+		nvram:      make(map[uint64][]byte),
+	}
+	d.mu = d.eng.NewMutex("kaml")
+	d.keyLks = newKeyLockTable(d.eng, d.mu)
+	d.buildLogs()
+	d.startActors()
+	return d
+}
+
+// startActors launches one flusher per log plus the GC actor.
+func (d *Device) startActors() {
+	d.stopped = d.eng.NewWaitGroup()
+	d.flushersLive = len(d.logs)
+	for _, lg := range d.logs {
+		lg := lg
+		d.stopped.Add(1)
+		d.eng.Go(fmt.Sprintf("kaml-flush%d", lg.id), func() { d.flusherLoop(lg) })
+	}
+	d.stopped.Add(1)
+	d.eng.Go("kaml-gc", d.gcLoop)
+}
+
+// buildLogs partitions the array's chips across the configured logs.
+// Log i owns chips {c : c mod NumLogs == i}, giving each log its own
+// append bandwidth; the chips of one log sit on as few channels as
+// possible when NumLogs >= Channels (chip-per-log at 64 logs).
+func (d *Device) buildLogs() {
+	n := d.cfg.NumLogs
+	d.logs = make([]*logState, n)
+	for i := 0; i < n; i++ {
+		d.logs[i] = newLogState(d, i)
+	}
+	for c := 0; c < d.fc.Chips(); c++ {
+		lg := d.logs[c%n]
+		lg.addChip(c, d.fc.BlocksPerChip)
+	}
+}
+
+// Engine returns the owning simulation engine.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Config returns the firmware configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Close drains the logs and stops the background actors.
+func (d *Device) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	for _, lg := range d.logs {
+		lg.spaceCv.Broadcast()
+	}
+	d.mu.Unlock()
+	d.stopped.Wait()
+}
+
+// CreateNamespace allocates a namespace with the given attributes and
+// returns its ID (Table I).
+func (d *Device) CreateNamespace(attrs NamespaceAttrs) (uint32, error) {
+	capacity := attrs.IndexCapacity
+	if capacity <= 0 {
+		capacity = d.cfg.DefaultIndexCap
+	}
+	var id uint32
+	var err error
+	d.ctrl.Submit(func() {
+		d.ctrl.ComputeProbes(0)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.closed {
+			err = ErrClosed
+			return
+		}
+		id = d.nextNSID
+		d.nextNSID++
+		ns := &namespace{id: id, index: newIndex(attrs.Index, capacity, d.cfg.AutoGrowIndex)}
+		nLogs := attrs.NumLogs
+		if nLogs <= 0 || nLogs > len(d.logs) {
+			nLogs = len(d.logs) // by default all logs serve every namespace
+		}
+		for i := 0; i < nLogs; i++ {
+			ns.logIDs = append(ns.logIDs, i)
+		}
+		d.namespaces[id] = ns
+	})
+	return id, err
+}
+
+// DeleteNamespace destroys a namespace; its records become garbage that GC
+// will reclaim (Table I).
+func (d *Device) DeleteNamespace(id uint32) error {
+	var err error
+	d.ctrl.Submit(func() {
+		d.ctrl.ComputeProbes(0)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		ns, ok := d.namespaces[id]
+		if !ok {
+			err = fmt.Errorf("%w: %d", ErrNoNamespace, id)
+			return
+		}
+		// Every record owned by the namespace stops being valid; fix up the
+		// per-block valid-byte accounting so GC victim scoring stays honest.
+		if !ns.swapped {
+			ns.index.Range(func(key, val uint64) bool {
+				if loc := location(val); loc.isFlash() {
+					d.discountValid(loc)
+				}
+				return true
+			})
+		}
+		delete(d.namespaces, id)
+	})
+	return err
+}
+
+// SetNamespaceLogs retunes how many logs the namespace appends to,
+// the knob behind Fig. 8. n is clamped to [1, NumLogs].
+func (d *Device) SetNamespaceLogs(id uint32, n int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ns, ok := d.namespaces[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoNamespace, id)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(d.logs) {
+		n = len(d.logs)
+	}
+	ns.logIDs = ns.logIDs[:0]
+	for i := 0; i < n; i++ {
+		ns.logIDs = append(ns.logIDs, i)
+	}
+	ns.rr = 0
+	return nil
+}
+
+// Namespaces returns the live namespace IDs (diagnostics).
+func (d *Device) Namespaces() []uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]uint32, 0, len(d.namespaces))
+	for id := range d.namespaces {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// IndexLoadFactor reports the namespace mapping table's load factor.
+func (d *Device) IndexLoadFactor(id uint32) (float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ns, ok := d.namespaces[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoNamespace, id)
+	}
+	return ns.index.LoadFactor(), nil
+}
+
+// location packs a record's physical position into a hashindex value.
+//
+//	bit 63     : 1 = NVRAM (value keyed by seq), 0 = flash
+//	flash form : ppn<<13 | startChunk<<7 | chunkCount
+//	nvram form : bit63 | seq
+type location uint64
+
+const nvramBit = location(1) << 63
+
+func flashLoc(ppn flash.PPN, chunk, nchunks int) location {
+	return location(uint64(ppn)<<13 | uint64(chunk&63)<<7 | uint64(nchunks&127))
+}
+
+func nvramLoc(seq uint64) location { return nvramBit | location(seq) }
+
+func (l location) isFlash() bool { return l&nvramBit == 0 }
+func (l location) ppn() flash.PPN {
+	return flash.PPN(uint64(l) >> 13)
+}
+func (l location) chunk() int   { return int(uint64(l) >> 7 & 63) }
+func (l location) nchunks() int { return int(uint64(l) & 127) }
+func (l location) seq() uint64  { return uint64(l &^ nvramBit) }

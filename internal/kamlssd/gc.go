@@ -1,0 +1,335 @@
+package kamlssd
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/record"
+)
+
+// Page-type marker stored in OOB byte 8 (the first 8 bytes hold the record
+// chunk bitmap). GC needs it to tell record pages from swapped-out index
+// pages when re-parsing a victim block.
+const (
+	pageTypeRecord = 0
+	pageTypeIndex  = 1
+)
+
+// gcLoop watches every log's free-block count and collects victims when a
+// log falls below the low watermark (§IV-E).
+func (d *Device) gcLoop() {
+	defer d.stopped.Done()
+	for {
+		d.mu.Lock()
+		// GC outlives Close until every flusher has drained: the final
+		// flushes may need GC to free blocks. A crash stops it immediately.
+		if d.crashed || (d.closed && d.flushersLive == 0) {
+			d.mu.Unlock()
+			return
+		}
+		var work *logState
+		for _, lg := range d.logs {
+			if lg.freeBlocks < d.cfg.GCLowWater {
+				work = lg
+				break
+			}
+		}
+		d.mu.Unlock()
+		if work == nil {
+			d.eng.Sleep(d.cfg.GCPoll)
+			continue
+		}
+		for {
+			d.mu.Lock()
+			done := work.freeBlocks >= d.cfg.GCHighWater || d.crashed
+			var chipIdx, block int
+			ok := false
+			if !done {
+				chipIdx, block, ok = d.victim(work)
+			}
+			d.mu.Unlock()
+			if done || !ok {
+				break
+			}
+			d.collectBlock(work, chipIdx, block)
+		}
+		d.eng.Sleep(d.cfg.GCPoll)
+	}
+}
+
+// victim picks the sealed block with the lowest combined score of valid
+// bytes and erase count ("low erase counts and small amounts of valid
+// data", §IV-E). Called with d.mu held.
+func (d *Device) victim(lg *logState) (chipIdx, block int, ok bool) {
+	best := int64(1) << 62
+	for ci, lc := range lg.chips {
+		ch, chip := lg.chipAddr(ci)
+		for b := range lc.blocks {
+			bm := &lc.blocks[b]
+			if !bm.sealed || bm.retired {
+				continue
+			}
+			// A block is sealed when its last page is *allocated*, but the
+			// flusher may still be programming queued pages into it; erasing
+			// now would destroy them. Only fully-programmed blocks qualify.
+			first := d.arr.BlockPPN(ch, chip, b, 0)
+			if d.arr.ProgrammedPages(first) < d.fc.PagesPerBlock {
+				continue
+			}
+			// The flusher may have finished programming the block's last
+			// page but not yet installed its index entries; collecting now
+			// could erase a page that is about to become live. The flusher
+			// is strictly in-order, so checking its current in-flight page
+			// is sufficient.
+			if lg.inflight != nil {
+				a := d.arr.Decode(lg.inflight.ppn)
+				if a.Channel == ch && a.Chip == chip && a.Block == b {
+					continue
+				}
+			}
+			erases := int64(d.arr.EraseCount(d.arr.BlockPPN(ch, chip, b, 0)))
+			score := bm.validBytes + erases*int64(d.cfg.ChunkSize)*4
+			if score < best {
+				best = score
+				chipIdx, block, ok = ci, b, true
+			}
+		}
+	}
+	return chipIdx, block, ok
+}
+
+// gcRecord is a still-valid record found in a victim block.
+type gcRecord struct {
+	rec      record.Record
+	oldLoc   location
+	newChunk int
+}
+
+// collectBlock scans one victim block, relocates its live data, erases it,
+// and returns it to the log's free list.
+func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
+	ch, chip := lg.chipAddr(chipIdx)
+	var live []gcRecord
+	var liveIndexPages []flash.PPN // swapped index pages needing relocation
+
+	for page := 0; page < d.fc.PagesPerBlock; page++ {
+		ppn := d.arr.BlockPPN(ch, chip, block, page)
+		data, oob, err := d.arr.ReadPage(ppn)
+		if err != nil {
+			continue
+		}
+		if oob[8] == pageTypeIndex {
+			d.mu.Lock()
+			if d.indexPageLive(ppn) {
+				liveIndexPages = append(liveIndexPages, ppn)
+			}
+			d.mu.Unlock()
+			continue
+		}
+		placed, perr := record.Parse(data, oob, d.cfg.ChunkSize)
+		if perr != nil {
+			panic(fmt.Sprintf("kamlssd: GC parse %d: %v", ppn, perr))
+		}
+		d.mu.Lock()
+		for _, pl := range placed {
+			loc := flashLoc(ppn, pl.StartChunk, pl.NumChunks)
+			if d.recordLive(pl.Record, loc) {
+				live = append(live, gcRecord{rec: pl.Record, oldLoc: loc})
+				d.stats.GCCopies++
+			}
+		}
+		d.mu.Unlock()
+	}
+
+	// Feasibility: relocating this victim must fit the GC stream's
+	// remaining capacity (current block tail + free blocks). The victim is
+	// already the least-live block, so infeasibility means the device is
+	// genuinely over-committed: even reclaiming the emptiest block cannot
+	// make forward progress. Fail loudly rather than losing data.
+	d.mu.Lock()
+	needPages := gcPagesNeeded(d, live, len(liveIndexPages))
+	capacity := lg.gcCapacityPages()
+	d.mu.Unlock()
+	if needPages > capacity {
+		panic(fmt.Sprintf("kamlssd: device over-committed: log %d GC needs %d pages, has %d — reduce the working set or add over-provisioning",
+			lg.id, needPages, capacity))
+	}
+
+	d.relocateRecords(lg, live)
+	d.relocateIndexPages(lg, liveIndexPages)
+
+	if err := d.arr.EraseBlock(d.arr.BlockPPN(ch, chip, block, 0)); err != nil {
+		d.mu.Lock()
+		lg.chips[chipIdx].blocks[block].retired = true
+		lg.chips[chipIdx].blocks[block].sealed = false
+		d.stats.GCErases++
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Lock()
+	bm := &lg.chips[chipIdx].blocks[block]
+	bm.sealed = false
+	bm.validBytes = 0
+	lg.chips[chipIdx].free = append(lg.chips[chipIdx].free, block)
+	lg.freeBlocks++
+	d.stats.GCErases++
+	d.mu.Unlock()
+}
+
+// gcPagesNeeded estimates how many fresh pages relocating the victim's
+// live payload takes (records packed plus whole index pages).
+func gcPagesNeeded(d *Device, live []gcRecord, indexPages int) int {
+	chunksPerPage := d.fc.PageSize / d.cfg.ChunkSize
+	chunks := 0
+	pages := indexPages
+	for _, g := range live {
+		c := g.rec.Chunks(d.cfg.ChunkSize)
+		if chunks+c > chunksPerPage {
+			pages++
+			chunks = 0
+		}
+		chunks += c
+	}
+	if chunks > 0 {
+		pages++
+	}
+	return pages
+}
+
+// gcCapacityPages reports how many pages the GC stream can still program
+// without another erase. Called with d.mu held.
+func (lg *logState) gcCapacityPages() int {
+	pages := lg.freeBlocks * lg.d.fc.PagesPerBlock
+	if lg.activeGC != nil {
+		pages += lg.d.fc.PagesPerBlock - lg.activeGC.page
+	}
+	return pages
+}
+
+// recordLive implements §IV-E's validity rule, extended for snapshots: a
+// scanned record is live iff ANY member of its namespace family (the
+// origin plus its snapshots) still points exactly at the scanned location.
+// A swapped-out member is treated as live conservatively (keeping garbage
+// is safe; losing data is not). Called with d.mu held.
+func (d *Device) recordLive(rec record.Record, loc location) bool {
+	for _, ns := range d.familyMembers(rec.Namespace) {
+		if ns.swapped {
+			return true // conservative: cannot check without loading
+		}
+		val, _, err := ns.index.Get(rec.Key)
+		if err == nil && location(val) == loc {
+			return true
+		}
+	}
+	return false
+}
+
+// relocateRecords packs live records into fresh pages on the log's GC
+// stream and swings index entries, re-validating each record at install
+// time (it may have been superseded while GC was running).
+func (d *Device) relocateRecords(lg *logState, live []gcRecord) {
+	packer := record.NewPacker(d.fc.PageSize, d.cfg.ChunkSize)
+	var group []gcRecord
+	flush := func() {
+		if packer.Empty() {
+			return
+		}
+		data, oob := packer.Finish()
+		full := make([]byte, 9)
+		copy(full, oob)
+		full[8] = pageTypeRecord
+		d.mu.Lock()
+		ppn, err := lg.nextPPN(true)
+		d.mu.Unlock()
+		if err != nil {
+			panic(fmt.Sprintf("kamlssd: GC of log %d cannot allocate: %v", lg.id, err))
+		}
+		if perr := d.arr.ProgramPage(ppn, data, full); perr != nil {
+			panic(fmt.Sprintf("kamlssd: GC program: %v", perr))
+		}
+		d.mu.Lock()
+		d.stats.Programs++
+		d.stats.FlashBytesWritten += int64(d.fc.PageSize)
+		for _, g := range group {
+			newLoc := flashLoc(ppn, g.newChunk, g.oldLoc.nchunks())
+			moved := false
+			for _, ns := range d.familyMembers(g.rec.Namespace) {
+				if ns.swapped {
+					continue
+				}
+				cur, _, err := ns.index.Get(g.rec.Key)
+				if err != nil || location(cur) != g.oldLoc {
+					continue // superseded mid-GC in this member
+				}
+				if _, _, err := ns.index.Put(g.rec.Key, uint64(newLoc)); err == nil {
+					moved = true
+				}
+			}
+			if moved {
+				d.discountValid(g.oldLoc)
+				d.creditValid(newLoc)
+			}
+		}
+		d.mu.Unlock()
+		group = nil
+	}
+	for _, g := range live {
+		if !packer.Fits(g.rec.EncodedSize()) {
+			flush()
+		}
+		g.newChunk = packer.Add(g.rec)
+		group = append(group, g)
+	}
+	flush()
+}
+
+// relocateIndexPages rewrites live swapped-index pages and updates the
+// owning namespace's page list.
+func (d *Device) relocateIndexPages(lg *logState, pages []flash.PPN) {
+	for _, old := range pages {
+		data, oob, err := d.arr.ReadPage(old)
+		if err != nil {
+			continue
+		}
+		d.mu.Lock()
+		ppn, aerr := lg.nextPPN(true)
+		d.mu.Unlock()
+		if aerr != nil {
+			panic(fmt.Sprintf("kamlssd: GC index relocation: %v", aerr))
+		}
+		if perr := d.arr.ProgramPage(ppn, data, oob[:9]); perr != nil {
+			panic(fmt.Sprintf("kamlssd: GC index program: %v", perr))
+		}
+		d.mu.Lock()
+		d.stats.Programs++
+		for _, ns := range d.namespaces {
+			for i, p := range ns.swapPages {
+				if p == old {
+					ns.swapPages[i] = ppn
+				}
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// indexPageLive reports whether a swapped-index page is still referenced.
+// Called with d.mu held.
+func (d *Device) indexPageLive(ppn flash.PPN) bool {
+	for _, ns := range d.namespaces {
+		for _, p := range ns.swapPages {
+			if p == ppn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isPageWritten lets the flusher tolerate replaying a program after crash
+// recovery (the page content is deterministic, so an already-written page
+// means the pre-crash program completed).
+func isPageWritten(err error) bool {
+	return errors.Is(err, flash.ErrPageWritten)
+}

@@ -1,0 +1,157 @@
+package kamlssd
+
+import (
+	"github.com/kaml-ssd/kaml/internal/btree"
+	"github.com/kaml-ssd/kaml/internal/hashindex"
+)
+
+// IndexKind selects a namespace's mapping-table data structure. The paper
+// (§IV-C) notes KAML "could ... even use different data structures (e.g.,
+// a tree instead of the hash tables KAML uses) to store the mapping
+// tables"; both are provided.
+type IndexKind uint8
+
+// Index kinds.
+const (
+	// IndexHash is the paper's default: a fixed-capacity open-addressing
+	// hash table whose probe cost grows with load factor (Fig. 5a).
+	IndexHash IndexKind = iota
+	// IndexTree is a B+tree: no load-factor cliff and ordered keys, at the
+	// price of O(log n) DRAM accesses per lookup.
+	IndexTree
+)
+
+// nsIndex is the firmware's view of a mapping table. `probes` counts DRAM
+// accesses so the controller can charge CPU time per operation.
+type nsIndex interface {
+	Get(key uint64) (val uint64, probes int, err error)
+	Put(key, val uint64) (probes int, existed bool, err error)
+	Delete(key uint64) (probes int, err error)
+	Range(fn func(key, val uint64) bool)
+	Len() int
+	Capacity() int
+	LoadFactor() float64
+	Serialize() []byte
+	Clone() nsIndex
+	Kind() IndexKind
+}
+
+// newIndex builds a mapping table of the given kind.
+func newIndex(kind IndexKind, capacity int, autoGrow bool) nsIndex {
+	switch kind {
+	case IndexTree:
+		return &treeIndex{t: btree.New()}
+	default:
+		t := hashindex.New(capacity)
+		t.AutoGrow = autoGrow
+		return &hashIdx{t: t}
+	}
+}
+
+// deserializeIndex rebuilds a table from Serialize output.
+func deserializeIndex(kind IndexKind, blob []byte, capacity int, autoGrow bool) (nsIndex, error) {
+	switch kind {
+	case IndexTree:
+		base, err := hashindex.Deserialize(blob, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		ti := &treeIndex{t: btree.New()}
+		base.Range(func(k, v uint64) bool {
+			ti.t.Put(k, v)
+			return true
+		})
+		return ti, nil
+	default:
+		tbl, err := hashindex.Deserialize(blob, 0)
+		if err != nil {
+			return nil, err
+		}
+		if tbl.Capacity() < capacity {
+			rebuilt := hashindex.New(capacity)
+			tbl.Range(func(k, v uint64) bool {
+				_, _, perr := rebuilt.Put(k, v)
+				return perr == nil
+			})
+			tbl = rebuilt
+		}
+		tbl.AutoGrow = autoGrow
+		return &hashIdx{t: tbl}, nil
+	}
+}
+
+// hashIdx adapts hashindex.Table to nsIndex.
+type hashIdx struct {
+	t *hashindex.Table
+}
+
+func (h *hashIdx) Get(key uint64) (uint64, int, error)    { return h.t.Get(key) }
+func (h *hashIdx) Put(key, val uint64) (int, bool, error) { return h.t.Put(key, val) }
+func (h *hashIdx) Delete(key uint64) (int, error)         { return h.t.Delete(key) }
+func (h *hashIdx) Range(fn func(k, v uint64) bool)        { h.t.Range(fn) }
+func (h *hashIdx) Len() int                               { return h.t.Len() }
+func (h *hashIdx) Capacity() int                          { return h.t.Capacity() }
+func (h *hashIdx) LoadFactor() float64                    { return h.t.LoadFactor() }
+func (h *hashIdx) Serialize() []byte                      { return h.t.Serialize() }
+func (h *hashIdx) Clone() nsIndex                         { return &hashIdx{t: h.t.Clone()} }
+func (h *hashIdx) Kind() IndexKind                        { return IndexHash }
+
+// treeIndex adapts btree.Tree to nsIndex. Probe counts are the tree depth
+// (each level is one DRAM node access).
+type treeIndex struct {
+	t *btree.Tree
+}
+
+func (ti *treeIndex) Get(key uint64) (uint64, int, error) {
+	v, err := ti.t.Get(key)
+	if err != nil {
+		return 0, ti.t.Depth(), hashindex.ErrNotFound
+	}
+	return v, ti.t.Depth(), nil
+}
+
+func (ti *treeIndex) Put(key, val uint64) (int, bool, error) {
+	existed := ti.t.Put(key, val)
+	return ti.t.Depth(), existed, nil
+}
+
+func (ti *treeIndex) Delete(key uint64) (int, error) {
+	if err := ti.t.Delete(key); err != nil {
+		return ti.t.Depth(), hashindex.ErrNotFound
+	}
+	return ti.t.Depth(), nil
+}
+
+func (ti *treeIndex) Range(fn func(k, v uint64) bool) { ti.t.Ascend(fn) }
+func (ti *treeIndex) Len() int                        { return ti.t.Len() }
+func (ti *treeIndex) Capacity() int                   { return ti.t.Len() }
+func (ti *treeIndex) LoadFactor() float64             { return 0 }
+func (ti *treeIndex) Kind() IndexKind                 { return IndexTree }
+
+func (ti *treeIndex) Serialize() []byte {
+	// Reuse the flat (count, key, val) format via a throwaway hash table.
+	tmp := hashindex.New(ti.t.Len() * 2)
+	tmp.AutoGrow = true
+	ti.t.Ascend(func(k, v uint64) bool {
+		_, _, err := tmp.Put(k, v)
+		return err == nil
+	})
+	return tmp.Serialize()
+}
+
+func (ti *treeIndex) Clone() nsIndex {
+	c := &treeIndex{t: btree.New()}
+	ti.t.Ascend(func(k, v uint64) bool {
+		c.t.Put(k, v)
+		return true
+	})
+	return c
+}
+
+// String names the kind for diagnostics.
+func (k IndexKind) String() string {
+	if k == IndexTree {
+		return "tree"
+	}
+	return "hash"
+}

@@ -1,0 +1,530 @@
+package kamlssd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/nvme"
+	"github.com/kaml-ssd/kaml/internal/sim"
+)
+
+func testFlashConfig() flash.Config {
+	fc := flash.DefaultConfig()
+	fc.Channels = 4
+	fc.ChipsPerChannel = 2
+	fc.BlocksPerChip = 8
+	fc.PagesPerBlock = 8
+	return fc
+}
+
+type rig struct {
+	e    *sim.Engine
+	arr  *flash.Array
+	ctrl *nvme.Controller
+	dev  *Device
+}
+
+func newRig(fc flash.Config, mod func(*Config)) *rig {
+	e := sim.NewEngine()
+	arr := flash.New(e, fc)
+	ctrl := nvme.New(e, nvme.DefaultConfig())
+	cfg := DefaultConfig(fc)
+	cfg.NumLogs = 4
+	if mod != nil {
+		mod(&cfg)
+	}
+	return &rig{e: e, arr: arr, ctrl: ctrl, dev: New(arr, ctrl, cfg)}
+}
+
+func withRig(t *testing.T, fc flash.Config, mod func(*Config), fn func(r *rig)) {
+	t.Helper()
+	r := newRig(fc, mod)
+	r.e.Go("test", func() {
+		defer r.dev.Close()
+		fn(r)
+	})
+	r.e.Wait()
+}
+
+func val(key uint64, size int) []byte {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = byte(key + uint64(i))
+	}
+	return v
+}
+
+func one(ns uint32, key uint64, v []byte) []PutRecord {
+	return []PutRecord{{Namespace: ns, Key: key, Value: v}}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, err := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 50; k++ {
+			if err := r.dev.Put(one(ns, k, val(k, 200))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := uint64(0); k < 50; k++ {
+			got, err := r.dev.Get(ns, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, val(k, 200)) {
+				t.Fatalf("key %d mismatch", k)
+			}
+		}
+	})
+}
+
+func TestGetAfterFlushReadsFlash(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err := r.dev.Put(one(ns, 7, val(7, 300))); err != nil {
+			t.Fatal(err)
+		}
+		r.dev.Flush()
+		st := r.dev.Stats()
+		if st.Programs == 0 {
+			t.Fatal("flush programmed nothing")
+		}
+		got, err := r.dev.Get(ns, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, val(7, 300)) {
+			t.Fatal("mismatch from flash")
+		}
+		st = r.dev.Stats()
+		if st.NVRAMHits != 0 {
+			t.Fatal("expected a flash read, not an NVRAM hit")
+		}
+	})
+}
+
+func TestGetFromNVRAMBeforeFlush(t *testing.T) {
+	withRig(t, testFlashConfig(), func(c *Config) { c.FlushPoll = time.Second }, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err := r.dev.Put(one(ns, 1, val(1, 100))); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.dev.Get(ns, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, val(1, 100)) {
+			t.Fatal("mismatch")
+		}
+		if r.dev.Stats().NVRAMHits != 1 {
+			t.Fatal("expected NVRAM hit before flush")
+		}
+	})
+}
+
+func TestUpdateReturnsLatest(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		for v := 0; v < 5; v++ {
+			if err := r.dev.Put(one(ns, 3, val(uint64(v), 150))); err != nil {
+				t.Fatal(err)
+			}
+			if v == 2 {
+				r.dev.Flush()
+			}
+		}
+		got, err := r.dev.Get(ns, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, val(4, 150)) {
+			t.Fatal("not latest version")
+		}
+		r.dev.Flush()
+		got, _ = r.dev.Get(ns, 3)
+		if !bytes.Equal(got, val(4, 150)) {
+			t.Fatal("not latest after flush")
+		}
+	})
+}
+
+func TestGetMissingKey(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		if _, err := r.dev.Get(ns, 42); !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns1, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		ns2, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		r.dev.Put(one(ns1, 5, []byte("one")))
+		r.dev.Put(one(ns2, 5, []byte("two")))
+		g1, _ := r.dev.Get(ns1, 5)
+		g2, _ := r.dev.Get(ns2, 5)
+		if string(g1) != "one" || string(g2) != "two" {
+			t.Fatalf("isolation broken: %q %q", g1, g2)
+		}
+		if _, err := r.dev.Get(99, 5); !errors.Is(err, ErrNoNamespace) {
+			t.Fatalf("missing ns: %v", err)
+		}
+	})
+}
+
+func TestDeleteNamespace(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		r.dev.Put(one(ns, 1, []byte("x")))
+		if err := r.dev.DeleteNamespace(ns); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.dev.Get(ns, 1); !errors.Is(err, ErrNoNamespace) {
+			t.Fatalf("get after delete: %v", err)
+		}
+		if err := r.dev.DeleteNamespace(ns); !errors.Is(err, ErrNoNamespace) {
+			t.Fatalf("double delete: %v", err)
+		}
+	})
+}
+
+func TestBatchPutAtomicVisibility(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		batch := make([]PutRecord, 10)
+		for i := range batch {
+			batch[i] = PutRecord{Namespace: ns, Key: uint64(i), Value: val(uint64(i), 100)}
+		}
+		if err := r.dev.Put(batch); err != nil {
+			t.Fatal(err)
+		}
+		for i := range batch {
+			got, err := r.dev.Get(ns, uint64(i))
+			if err != nil || !bytes.Equal(got, batch[i].Value) {
+				t.Fatalf("record %d: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestBatchDuplicateKeyRejected(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		batch := []PutRecord{
+			{Namespace: ns, Key: 1, Value: []byte("a")},
+			{Namespace: ns, Key: 1, Value: []byte("b")},
+		}
+		if err := r.dev.Put(batch); !errors.Is(err, ErrBadBatch) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestValueTooLarge(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		big := make([]byte, testFlashConfig().PageSize)
+		if err := r.dev.Put(one(ns, 1, big)); !errors.Is(err, ErrValueTooLarge) {
+			t.Fatalf("err=%v", err)
+		}
+	})
+}
+
+func TestIndexFullRollsBackAtomically(t *testing.T) {
+	withRig(t, testFlashConfig(), func(c *Config) { c.DefaultIndexCap = 8 }, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		// Fill the 8-slot table.
+		for k := uint64(0); k < 8; k++ {
+			if err := r.dev.Put(one(ns, k, []byte("v"))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A batch that updates existing key 0 and inserts a new key: the
+		// insert fails (table full) and the update must roll back.
+		batch := []PutRecord{
+			{Namespace: ns, Key: 0, Value: []byte("NEW")},
+			{Namespace: ns, Key: 100, Value: []byte("overflow")},
+		}
+		if err := r.dev.Put(batch); !errors.Is(err, ErrIndexFull) {
+			t.Fatalf("err=%v", err)
+		}
+		got, err := r.dev.Get(ns, 0)
+		if err != nil || string(got) != "v" {
+			t.Fatalf("rollback failed: %q %v", got, err)
+		}
+		if _, err := r.dev.Get(ns, 100); !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("phantom insert: %v", err)
+		}
+	})
+}
+
+func TestVariableSizedValues(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		rng := rand.New(rand.NewSource(5))
+		sizes := map[uint64]int{}
+		for k := uint64(0); k < 60; k++ {
+			size := rng.Intn(4000) + 1
+			sizes[k] = size
+			if err := r.dev.Put(one(ns, k, val(k, size))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.dev.Flush()
+		for k, size := range sizes {
+			got, err := r.dev.Get(ns, k)
+			if err != nil || !bytes.Equal(got, val(k, size)) {
+				t.Fatalf("key %d size %d: %v", k, size, err)
+			}
+		}
+	})
+}
+
+func TestGCReclaimsUnderChurn(t *testing.T) {
+	fc := testFlashConfig()
+	withRig(t, fc, nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		// Values sized so a handful fill a page; churn a small hot set far
+		// beyond raw capacity so GC must reclaim superseded versions.
+		raw := fc.TotalPages() * fc.PageSize
+		valueSize := 1000
+		writes := raw/valueSize + raw/valueSize/2
+		hot := uint64(40)
+		rng := rand.New(rand.NewSource(9))
+		latest := map[uint64]uint64{}
+		for i := 0; i < writes; i++ {
+			k := uint64(rng.Intn(int(hot)))
+			ver := uint64(i)
+			if err := r.dev.Put(one(ns, k, val(ver, valueSize))); err != nil {
+				t.Fatalf("put %d: %v", i, err)
+			}
+			latest[k] = ver
+		}
+		r.dev.Flush()
+		for k, ver := range latest {
+			got, err := r.dev.Get(ns, k)
+			if err != nil || !bytes.Equal(got, val(ver, valueSize)) {
+				t.Fatalf("key %d after GC churn: %v", k, err)
+			}
+		}
+		if r.dev.Stats().GCErases == 0 {
+			t.Fatal("GC never ran")
+		}
+	})
+}
+
+func TestConcurrentPutsAndGets(t *testing.T) {
+	fc := testFlashConfig()
+	r := newRig(fc, nil)
+	r.e.Go("main", func() {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		const workers = 6
+		const perWorker = 80
+		wg := r.e.NewWaitGroup()
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			r.e.Go(fmt.Sprintf("w%d", w), func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < perWorker; i++ {
+					k := uint64(w*1000 + i)
+					if err := r.dev.Put(one(ns, k, val(k, rng.Intn(900)+1))); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+					if i%3 == 0 {
+						if _, err := r.dev.Get(ns, k); err != nil {
+							t.Errorf("get: %v", err)
+							return
+						}
+					}
+				}
+			})
+		}
+		wg.Wait()
+		r.dev.Flush()
+		for w := 0; w < workers; w++ {
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w*1000 + i)
+				if _, err := r.dev.Get(ns, k); err != nil {
+					t.Errorf("final get %d: %v", k, err)
+				}
+			}
+		}
+		r.dev.Close()
+	})
+	r.e.Wait()
+}
+
+func TestPutLatencyIsNVRAMFast(t *testing.T) {
+	// The headline latency result (Fig. 6b): Put of a small record is a
+	// logical commit into NVRAM, far faster than a flash program.
+	fc := testFlashConfig()
+	withRig(t, fc, nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		r.dev.Put(one(ns, 1, val(1, 512))) // warm up
+		start := r.e.Now()
+		if err := r.dev.Put(one(ns, 2, val(2, 512))); err != nil {
+			t.Fatal(err)
+		}
+		lat := r.e.Now() - start
+		if lat >= fc.ProgramLatency {
+			t.Fatalf("Put latency %v should be below program latency %v", lat, fc.ProgramLatency)
+		}
+	})
+}
+
+func TestSetNamespaceLogsClamps(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err := r.dev.SetNamespaceLogs(ns, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.dev.SetNamespaceLogs(ns, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.dev.SetNamespaceLogs(999, 2); !errors.Is(err, ErrNoNamespace) {
+			t.Fatalf("err=%v", err)
+		}
+		// Still writable after retuning.
+		if err := r.dev.Put(one(ns, 1, []byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIndexSwapOutAndReload(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{IndexCapacity: 512})
+		for k := uint64(0); k < 100; k++ {
+			r.dev.Put(one(ns, k, val(k, 64)))
+		}
+		r.dev.Flush()
+		if err := r.dev.SwapOutIndex(ns); err != nil {
+			t.Fatal(err)
+		}
+		// Access auto-loads the index.
+		got, err := r.dev.Get(ns, 42)
+		if err != nil || !bytes.Equal(got, val(42, 64)) {
+			t.Fatalf("get after swap: %v", err)
+		}
+		// Puts work after reload too.
+		if err := r.dev.Put(one(ns, 200, []byte("fresh"))); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = r.dev.Get(ns, 200)
+		if string(got) != "fresh" {
+			t.Fatal("post-reload put lost")
+		}
+	})
+}
+
+func TestCrashRecoveryPreservesAckedPuts(t *testing.T) {
+	fc := testFlashConfig()
+	e := sim.NewEngine()
+	arr := flash.New(e, fc)
+	ctrl := nvme.New(e, nvme.DefaultConfig())
+	cfg := DefaultConfig(fc)
+	cfg.NumLogs = 4
+	cfg.FlushPoll = 10 * time.Second // keep everything in NVRAM
+	dev := New(arr, ctrl, cfg)
+	e.Go("crash-test", func() {
+		ns, _ := dev.CreateNamespace(NamespaceAttrs{})
+		for k := uint64(0); k < 30; k++ {
+			if err := dev.Put(one(ns, k, val(k, 700))); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		// Power cut: nothing flushed (except full pages sealed en route).
+		st := dev.Crash()
+		dev2, err := Restore(arr, ctrl, cfg, st)
+		if err != nil {
+			t.Errorf("restore: %v", err)
+			return
+		}
+		defer dev2.Close()
+		for k := uint64(0); k < 30; k++ {
+			got, err := dev2.Get(ns, k)
+			if err != nil || !bytes.Equal(got, val(k, 700)) {
+				t.Errorf("key %d lost in crash: %v", k, err)
+				return
+			}
+		}
+		// The recovered device keeps working and can drain to flash.
+		dev2.Flush()
+		for k := uint64(0); k < 30; k++ {
+			if _, err := dev2.Get(ns, k); err != nil {
+				t.Errorf("key %d after drain: %v", k, err)
+				return
+			}
+		}
+	})
+	e.Wait()
+}
+
+func TestCrashMidFlushReplaysInflight(t *testing.T) {
+	fc := testFlashConfig()
+	e := sim.NewEngine()
+	arr := flash.New(e, fc)
+	ctrl := nvme.New(e, nvme.DefaultConfig())
+	cfg := DefaultConfig(fc)
+	cfg.NumLogs = 2
+	cfg.FlushPoll = 30 * time.Microsecond
+	dev := New(arr, ctrl, cfg)
+	e.Go("crash-test", func() {
+		ns, _ := dev.CreateNamespace(NamespaceAttrs{})
+		for k := uint64(0); k < 200; k++ {
+			if err := dev.Put(one(ns, k, val(k, 900))); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		// Crash while flushers are busy: some pages programmed, some
+		// in flight, some still in NVRAM.
+		st := dev.Crash()
+		dev2, err := Restore(arr, ctrl, cfg, st)
+		if err != nil {
+			t.Errorf("restore: %v", err)
+			return
+		}
+		defer dev2.Close()
+		dev2.Flush()
+		for k := uint64(0); k < 200; k++ {
+			got, gerr := dev2.Get(ns, k)
+			if gerr != nil || !bytes.Equal(got, val(k, 900)) {
+				t.Errorf("key %d lost: %v", k, gerr)
+				return
+			}
+		}
+	})
+	e.Wait()
+}
+
+func TestWriteAmplificationTracked(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, _ := r.dev.CreateNamespace(NamespaceAttrs{})
+		for k := uint64(0); k < 100; k++ {
+			r.dev.Put(one(ns, k, val(k, 500)))
+		}
+		r.dev.Flush()
+		st := r.dev.Stats()
+		if st.BytesWritten != 100*500 {
+			t.Fatalf("BytesWritten=%d", st.BytesWritten)
+		}
+		if st.FlashBytesWritten < st.BytesWritten {
+			t.Fatalf("flash bytes %d < host bytes %d", st.FlashBytesWritten, st.BytesWritten)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package kamlssd
+
+import "github.com/kaml-ssd/kaml/internal/sim"
+
+// keyLockTable implements the firmware's per-index-entry locks used during
+// Put phase 1 (§IV-D): before a batch is logically committed, the firmware
+// locks every (namespace, key) it touches so two concurrent batches cannot
+// interleave their index updates. Locks are acquired in sorted order to
+// avoid firmware-level deadlock and released once the batch's NVRAM copies
+// and index entries are installed.
+type keyLockTable struct {
+	eng    *sim.Engine
+	mu     *sim.Mutex // the device mutex; waiters park on cv
+	cv     *sim.Cond
+	locked map[nskey]bool
+}
+
+type nskey struct {
+	ns  uint32
+	key uint64
+}
+
+func newKeyLockTable(eng *sim.Engine, mu *sim.Mutex) *keyLockTable {
+	return &keyLockTable{
+		eng:    eng,
+		mu:     mu,
+		cv:     eng.NewCond(mu),
+		locked: make(map[nskey]bool),
+	}
+}
+
+// lockAll acquires every key in keys, which must be sorted and free of
+// duplicates. Called with the device mutex held; may release and reacquire
+// it while waiting.
+func (t *keyLockTable) lockAll(keys []nskey) {
+	for i := 0; i < len(keys); {
+		if t.locked[keys[i]] {
+			t.cv.Wait() // another batch holds it; retry from scratch
+			// After waking, previously-acquired keys are still ours; only
+			// re-examine from the blocked key onward.
+			continue
+		}
+		t.locked[keys[i]] = true
+		i++
+	}
+}
+
+// unlockAll releases every key. Called with the device mutex held.
+func (t *keyLockTable) unlockAll(keys []nskey) {
+	for _, k := range keys {
+		delete(t.locked, k)
+	}
+	t.cv.Broadcast()
+}

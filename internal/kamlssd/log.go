@@ -1,0 +1,299 @@
+package kamlssd
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/record"
+	"github.com/kaml-ssd/kaml/internal/sim"
+)
+
+// logState is one append-only log: a subset of the array's chips, an NVRAM
+// page buffer accumulating records (the packer), a bounded queue of sealed
+// pages awaiting program, and exactly one flusher actor — so each log is a
+// strictly sequential append stream, which is why the log count bounds the
+// device's concurrent program operations (the effect behind Fig. 8).
+type logState struct {
+	id int
+	d  *Device
+
+	chips []*logChip
+
+	packer      *record.Packer
+	pending     []pendingRec  // records in the open packer
+	packerBorn  time.Duration // virtual time the first record entered the packer
+	sealedQueue []sealedPage
+	inflight    *sealedPage // page the flusher is programming right now
+	spaceCv     *sim.Cond   // queue has room / device closed
+
+	activeHost *appendPoint
+	activeGC   *appendPoint
+	nextChip   int // rotate block allocation across the log's chips
+
+	freeBlocks int
+}
+
+type logChip struct {
+	global int // chip index in the array (channel*ChipsPerChannel+chip)
+	free   []int
+	blocks []blockMeta
+}
+
+type blockMeta struct {
+	sealed     bool
+	retired    bool
+	validBytes int64
+}
+
+type appendPoint struct {
+	chip  int // index into logState.chips
+	block int
+	page  int
+}
+
+type pendingRec struct {
+	ns    uint32
+	key   uint64
+	seq   uint64 // NVRAM sequence the index points at
+	chunk int    // start chunk within the sealed page
+	size  int    // encoded bytes
+}
+
+type sealedPage struct {
+	ppn     flash.PPN
+	data    []byte
+	oob     []byte
+	pending []pendingRec
+}
+
+func newLogState(d *Device, id int) *logState {
+	lg := &logState{
+		id:     id,
+		d:      d,
+		packer: record.NewPacker(d.fc.PageSize, d.cfg.ChunkSize),
+	}
+	lg.spaceCv = d.eng.NewCond(d.mu)
+	return lg
+}
+
+func (lg *logState) addChip(global, blocks int) {
+	lc := &logChip{global: global}
+	lc.blocks = make([]blockMeta, blocks)
+	for b := 0; b < blocks; b++ {
+		lc.free = append(lc.free, b)
+	}
+	lg.chips = append(lg.chips, lc)
+	lg.freeBlocks += blocks
+}
+
+func (lg *logState) chipAddr(chipIdx int) (channel, chip int) {
+	g := lg.chips[chipIdx].global
+	return g / lg.d.fc.ChipsPerChannel, g % lg.d.fc.ChipsPerChannel
+}
+
+// gcReserveBlocks is how many free blocks per log the host append stream
+// must leave untouched so the garbage collector can always make progress
+// (relocating one victim can span two GC-stream blocks when the current
+// one is nearly full).
+const gcReserveBlocks = 2
+
+// nextPPN allocates the next sequential page of the stream (host or GC),
+// opening a fresh block when needed. Called with d.mu held.
+func (lg *logState) nextPPN(forGC bool) (flash.PPN, error) {
+	ap := &lg.activeHost
+	if forGC {
+		ap = &lg.activeGC
+	}
+	if *ap == nil {
+		if !forGC && lg.freeBlocks <= gcReserveBlocks {
+			return 0, fmt.Errorf("kamlssd: log %d out of free blocks", lg.id)
+		}
+		cp, err := lg.openBlock()
+		if err != nil {
+			return 0, err
+		}
+		*ap = cp
+	}
+	p := *ap
+	ch, chip := lg.chipAddr(p.chip)
+	ppn := lg.d.arr.BlockPPN(ch, chip, p.block, p.page)
+	p.page++
+	if p.page >= lg.d.fc.PagesPerBlock {
+		lg.chips[p.chip].blocks[p.block].sealed = true
+		*ap = nil
+	}
+	return ppn, nil
+}
+
+// openBlock pops a free block, rotating across the log's chips.
+func (lg *logState) openBlock() (*appendPoint, error) {
+	for tries := 0; tries < len(lg.chips); tries++ {
+		ci := lg.nextChip
+		lg.nextChip = (lg.nextChip + 1) % len(lg.chips)
+		lc := lg.chips[ci]
+		for len(lc.free) > 0 {
+			b := lc.free[0]
+			lc.free = lc.free[1:]
+			lg.freeBlocks--
+			if lc.blocks[b].retired {
+				continue
+			}
+			return &appendPoint{chip: ci, block: b}, nil
+		}
+	}
+	return nil, fmt.Errorf("kamlssd: log %d out of free blocks", lg.id)
+}
+
+// sealPacker moves the open packer into the sealed queue, assigning its
+// flash page now so programs stay in block order. Blocks (releasing d.mu)
+// while the queue is full — this is the NVRAM backpressure that ties host
+// Put bandwidth to the log's append bandwidth. Called with d.mu held;
+// returns with d.mu held.
+func (lg *logState) sealPacker() {
+	for {
+		if lg.packer.Empty() {
+			return // another actor sealed it while we waited
+		}
+		if len(lg.sealedQueue) < lg.d.cfg.QueueDepthPerLog || lg.d.closed {
+			break
+		}
+		lg.spaceCv.Wait()
+	}
+	// Capture the page image and its pending descriptors atomically: the
+	// free-block wait below releases the device mutex, and records added to
+	// the fresh packer meanwhile must not leak into this sealed page.
+	data, oob := lg.packer.Finish()
+	pend := lg.pending
+	lg.pending = nil
+	ppn, err := lg.nextPPN(false)
+	for err != nil {
+		// The log is out of erased blocks; wait for GC to reclaim some.
+		// (This is the paper's free-block watermark backpressure.)
+		lg.d.mu.Unlock()
+		lg.d.eng.Sleep(lg.d.cfg.GCPoll)
+		lg.d.mu.Lock()
+		ppn, err = lg.nextPPN(false)
+	}
+	lg.sealedQueue = append(lg.sealedQueue, sealedPage{
+		ppn:     ppn,
+		data:    data,
+		oob:     oob,
+		pending: pend,
+	})
+}
+
+// flusherLoop programs sealed pages in order and installs flash locations.
+// It also seals a partially-filled packer whose oldest record has waited
+// longer than FlushPoll (the paper's "internal timer").
+func (d *Device) flusherLoop(lg *logState) {
+	defer func() {
+		d.mu.Lock()
+		d.flushersLive--
+		d.mu.Unlock()
+		d.stopped.Done()
+	}()
+	for {
+		d.mu.Lock()
+		if d.crashed {
+			d.mu.Unlock()
+			return
+		}
+		if len(lg.sealedQueue) == 0 {
+			if !lg.packer.Empty() && d.eng.Now()-lg.packerBorn >= d.cfg.FlushPoll {
+				lg.sealPacker()
+			} else if d.closed {
+				if lg.packer.Empty() {
+					d.mu.Unlock()
+					return
+				}
+				lg.sealPacker()
+			} else {
+				d.mu.Unlock()
+				d.eng.Sleep(d.cfg.FlushPoll)
+				continue
+			}
+		}
+		sp := lg.sealedQueue[0]
+		lg.sealedQueue = lg.sealedQueue[1:]
+		lg.inflight = &sp
+		d.mu.Unlock()
+
+		if err := d.arr.ProgramPage(sp.ppn, sp.data, sp.oob); err != nil && !isPageWritten(err) {
+			// isPageWritten means a pre-crash program completed before the
+			// sealed page was replayed from NVRAM; the content matches.
+			panic(fmt.Sprintf("kamlssd: log %d program %d: %v", lg.id, sp.ppn, err))
+		}
+
+		d.mu.Lock()
+		d.stats.Programs++
+		d.stats.FlashBytesWritten += int64(d.fc.PageSize)
+		for _, pr := range sp.pending {
+			d.installFlashLoc(pr, sp.ppn)
+		}
+		lg.inflight = nil
+		lg.spaceCv.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// installFlashLoc is phase 3 of Put for one record: swing the index entry
+// from the NVRAM location to the flash location unless a newer version
+// superseded it while the page was in flight. Snapshots taken while the
+// record sat in NVRAM cloned the NVRAM location, so every family member's
+// entry is swung. Called with d.mu held.
+func (d *Device) installFlashLoc(pr pendingRec, ppn flash.PPN) {
+	defer delete(d.nvram, pr.seq)
+	nchunks := (pr.size + d.cfg.ChunkSize - 1) / d.cfg.ChunkSize
+	loc := flashLoc(ppn, pr.chunk, nchunks)
+	credited := false
+	for _, ns := range d.familyMembers(pr.ns) {
+		if ns.swapped {
+			continue // snapshot swapped with an NVRAM loc cannot happen: swap drains first
+		}
+		cur, _, err := ns.index.Get(pr.key)
+		if err != nil || location(cur) != nvramLoc(pr.seq) {
+			continue // superseded in this member: its copy is dead on arrival
+		}
+		if _, _, err := ns.index.Put(pr.key, uint64(loc)); err != nil {
+			continue
+		}
+		if !credited {
+			d.creditValid(loc)
+			credited = true
+		}
+	}
+}
+
+// creditValid adds a record's footprint to its block's valid counter.
+func (d *Device) creditValid(loc location) {
+	_, lc, b := d.blockOf(loc.ppn())
+	if lc != nil {
+		lc.blocks[b].validBytes += int64(loc.nchunks() * d.cfg.ChunkSize)
+	}
+}
+
+// discountValid removes a record's footprint from its block's counter.
+// Locations carry their chunk count, so the accounting is exact.
+func (d *Device) discountValid(loc location) {
+	_, lc, b := d.blockOf(loc.ppn())
+	if lc != nil {
+		lc.blocks[b].validBytes -= int64(loc.nchunks() * d.cfg.ChunkSize)
+		if lc.blocks[b].validBytes < 0 {
+			lc.blocks[b].validBytes = 0
+		}
+	}
+}
+
+// blockOf maps a PPN to its owning log, chip, and block. Called with d.mu.
+func (d *Device) blockOf(ppn flash.PPN) (*logState, *logChip, int) {
+	addr := d.arr.Decode(ppn)
+	global := addr.Channel*d.fc.ChipsPerChannel + addr.Chip
+	lg := d.logs[global%len(d.logs)]
+	for _, lc := range lg.chips {
+		if lc.global == global {
+			return lg, lc, addr.Block
+		}
+	}
+	return nil, nil, 0
+}

@@ -1,0 +1,354 @@
+package kamlssd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/hashindex"
+	"github.com/kaml-ssd/kaml/internal/record"
+)
+
+// undoEntry remembers a key's pre-batch index state for atomic rollback.
+type undoEntry struct {
+	existed bool
+	oldVal  uint64
+	seq     uint64
+}
+
+// PutRecord is one element of an atomic Put batch (Table I: Put takes
+// parallel arrays of namespace IDs, keys, values, and lengths).
+type PutRecord struct {
+	Namespace uint32
+	Key       uint64
+	Value     []byte
+}
+
+// Get retrieves the value stored under (nsID, key). The value is served
+// from NVRAM if the record's latest version has not reached flash yet,
+// otherwise from a flash page read (paper §III, Table I).
+func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
+	var out []byte
+	var err error
+	d.ctrl.Submit(func() {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			err = ErrClosed
+			return
+		}
+		ns, ok := d.namespaces[nsID]
+		if !ok {
+			d.mu.Unlock()
+			err = fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
+			return
+		}
+		if ns.swapped {
+			d.mu.Unlock()
+			if err = d.loadIndex(nsID); err != nil {
+				return
+			}
+			d.mu.Lock()
+		}
+		d.stats.Gets++
+		val, probes, gerr := ns.index.Get(key)
+		d.stats.IndexProbes += int64(probes)
+		if gerr != nil {
+			d.mu.Unlock()
+			d.ctrl.ComputeProbes(probes)
+			err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+			return
+		}
+		loc := location(val)
+		if !loc.isFlash() {
+			// Logically committed but still in NVRAM; serve from the buffer.
+			if v, ok := d.nvram[loc.seq()]; ok {
+				out = append([]byte(nil), v...)
+				d.stats.NVRAMHits++
+				d.mu.Unlock()
+				d.ctrl.ComputeProbes(probes)
+				return
+			}
+			// The flusher installed the flash location between our index
+			// read and now; fall through with a fresh lookup.
+			val, _, gerr = ns.index.Get(key)
+			if gerr != nil {
+				d.mu.Unlock()
+				err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+				return
+			}
+			loc = location(val)
+		}
+		d.mu.Unlock()
+		d.ctrl.ComputeProbes(probes)
+
+		// Optimistic read: the page read happens without the firmware lock,
+		// so GC may relocate the record (and erase or rewrite the block)
+		// mid-read. Re-validate the index afterwards and retry on movement —
+		// the firmware equivalent of the baseline's LBA-range locks, without
+		// their per-command cost (§V-B).
+		for attempt := 0; ; attempt++ {
+			data, _, rerr := d.arr.ReadPage(loc.ppn())
+			moved := false
+			if rerr == nil {
+				d.mu.Lock()
+				if cur, _, gerr2 := ns.index.Get(key); gerr2 == nil && location(cur) != loc {
+					loc = location(cur)
+					moved = true
+				}
+				d.mu.Unlock()
+				if moved && !loc.isFlash() {
+					// Moved back into NVRAM by a concurrent update.
+					d.mu.Lock()
+					if v, ok := d.nvram[loc.seq()]; ok {
+						out = append([]byte(nil), v...)
+						d.mu.Unlock()
+						return
+					}
+					cur, _, gerr2 := ns.index.Get(key)
+					d.mu.Unlock()
+					if gerr2 != nil {
+						err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+						return
+					}
+					loc = location(cur)
+					continue
+				}
+				if moved {
+					continue
+				}
+			} else {
+				// The block was erased under us; re-resolve and retry.
+				d.mu.Lock()
+				cur, _, gerr2 := ns.index.Get(key)
+				d.mu.Unlock()
+				if gerr2 != nil {
+					err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+					return
+				}
+				if location(cur) == loc || attempt > 16 {
+					err = rerr
+					return
+				}
+				loc = location(cur)
+				if !loc.isFlash() {
+					d.mu.Lock()
+					if v, ok := d.nvram[loc.seq()]; ok {
+						out = append([]byte(nil), v...)
+						d.mu.Unlock()
+						return
+					}
+					d.mu.Unlock()
+					continue
+				}
+				continue
+			}
+			rec, derr := record.At(data, loc.chunk(), d.cfg.ChunkSize)
+			if derr != nil {
+				err = derr
+				return
+			}
+			// Snapshot namespaces share records written under their origin,
+			// so the on-flash header carries the family root's ID.
+			if rec.Namespace != familyRoot(ns) || rec.Key != key {
+				err = fmt.Errorf("kamlssd: index corruption: ns %d key %d resolved to ns %d key %d",
+					nsID, key, rec.Namespace, rec.Key)
+				return
+			}
+			out = rec.Value
+			return
+		}
+	})
+	return out, err
+}
+
+// Put atomically inserts or updates a batch of records (Table I). The call
+// returns once the batch is logically committed: every value is in
+// battery-backed NVRAM and every index entry points at it. Flash programs
+// and the final index swing happen in the background (§IV-D phases 2–3).
+func (d *Device) Put(batch []PutRecord) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	maxVal := d.fc.PageSize - record.HeaderSize
+	for _, r := range batch {
+		if len(r.Value) > maxVal {
+			return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, len(r.Value))
+		}
+	}
+	var err error
+	d.ctrl.Submit(func() {
+		// Phase 1a: lock every touched index entry, in sorted order.
+		keys := make([]nskey, 0, len(batch))
+		for _, r := range batch {
+			keys = append(keys, nskey{ns: r.Namespace, key: r.Key})
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].ns != keys[j].ns {
+				return keys[i].ns < keys[j].ns
+			}
+			return keys[i].key < keys[j].key
+		})
+		for i := 1; i < len(keys); i++ {
+			if keys[i] == keys[i-1] {
+				err = fmt.Errorf("%w: duplicate key %d in batch", ErrBadBatch, keys[i].key)
+				return
+			}
+		}
+
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			err = ErrClosed
+			return
+		}
+		// Validate namespaces before taking locks.
+		for _, r := range batch {
+			ns, ok := d.namespaces[r.Namespace]
+			if !ok {
+				d.mu.Unlock()
+				err = fmt.Errorf("%w: %d", ErrNoNamespace, r.Namespace)
+				return
+			}
+			if ns.readonly {
+				d.mu.Unlock()
+				err = fmt.Errorf("%w: %d", ErrReadOnly, r.Namespace)
+				return
+			}
+			if ns.swapped {
+				d.mu.Unlock()
+				if err = d.loadIndex(r.Namespace); err != nil {
+					return
+				}
+				d.mu.Lock()
+			}
+		}
+		d.keyLks.lockAll(keys)
+
+		// Phase 1b: stage every record in NVRAM, point the index at the
+		// NVRAM copies, and route the records to logs. After this loop the
+		// batch is logically committed. Old index values are remembered so
+		// a mid-batch failure (mapping table full) rolls back atomically.
+		totalProbes := 0
+		newKeys := 0
+		undo := make([]undoEntry, 0, len(batch))
+		for _, r := range batch {
+			ns := d.namespaces[r.Namespace]
+			rec := record.Record{Namespace: r.Namespace, Key: r.Key, Value: r.Value}
+
+			// Supersede bookkeeping for the previous version, if any.
+			old, probes, gerr := ns.index.Get(r.Key)
+			totalProbes += probes
+			if gerr != nil {
+				newKeys++
+			} else if location(old).isFlash() {
+				d.discountValid(location(old))
+			}
+
+			d.nvSeq++
+			seq := d.nvSeq
+			d.nvram[seq] = append([]byte(nil), r.Value...)
+			if _, _, perr := ns.index.Put(r.Key, uint64(nvramLoc(seq))); perr != nil {
+				// Mapping table full: atomicity demands all-or-nothing, so
+				// restore every already-staged entry to its previous value.
+				delete(d.nvram, seq)
+				d.rollbackStaged(batch, undo)
+				d.keyLks.unlockAll(keys)
+				d.mu.Unlock()
+				err = fmt.Errorf("%w: ns %d", ErrIndexFull, r.Namespace)
+				return
+			}
+			undo = append(undo, undoEntry{existed: gerr == nil, oldVal: old, seq: seq})
+
+			lg := d.logs[ns.logIDs[ns.rr%len(ns.logIDs)]]
+			ns.rr++
+			if !lg.packer.Fits(rec.EncodedSize()) {
+				lg.sealPacker() // may wait for queue space, releasing d.mu
+			}
+			if lg.packer.Empty() {
+				lg.packerBorn = d.eng.Now()
+			}
+			chunk := lg.packer.Add(rec)
+			lg.pending = append(lg.pending, pendingRec{
+				ns: r.Namespace, key: r.Key, seq: seq,
+				chunk: chunk, size: rec.EncodedSize(),
+			})
+			if lg.packer.FreeChunks() == 0 {
+				lg.sealPacker()
+			}
+			d.stats.BytesWritten += int64(len(r.Value))
+		}
+		d.stats.Puts++
+		d.stats.PutRecords += int64(len(batch))
+		d.stats.IndexProbes += int64(totalProbes)
+		d.keyLks.unlockAll(keys)
+		d.mu.Unlock()
+		// Put's index lookups run on the controller's lookup engine and
+		// overlap with the NVRAM DMA, so the charged CPU work is the fixed
+		// dispatch cost plus entry allocation for fresh keys (the cost that
+		// makes Insert slower than Update in Figs. 5c/6c).
+		d.ctrl.Compute(d.ctrl.Config().FirmwareFixedCost +
+			time.Duration(newKeys)*d.ctrl.Config().InsertCost)
+	})
+	return err
+}
+
+// rollbackStaged undoes phase-1b staging for the already-staged prefix of
+// a batch whose later record failed (mapping table full). Index entries are
+// restored to their pre-batch values; records already routed to a packer
+// become garbage automatically because the flusher's install CAS no longer
+// matches. Called with d.mu held.
+func (d *Device) rollbackStaged(batch []PutRecord, undo []undoEntry) {
+	for i, u := range undo {
+		r := batch[i]
+		ns, ok := d.namespaces[r.Namespace]
+		if !ok {
+			continue
+		}
+		delete(d.nvram, u.seq)
+		if u.existed {
+			_, _, _ = ns.index.Put(r.Key, u.oldVal)
+			if loc := location(u.oldVal); loc.isFlash() {
+				d.creditValid(loc) // undo the supersede discount
+			}
+		} else {
+			_, _ = ns.index.Delete(r.Key)
+		}
+	}
+}
+
+// Flush blocks until every logically-committed record has been programmed
+// to flash and its index entry points at flash. Mainly for tests and for
+// orderly shutdown; KAML's durability does not depend on it (NVRAM is
+// battery-backed).
+func (d *Device) Flush() {
+	for {
+		d.mu.Lock()
+		busy := len(d.nvram) > 0
+		d.mu.Unlock()
+		if !busy {
+			return
+		}
+		d.eng.Sleep(d.cfg.FlushPoll)
+	}
+}
+
+// Exists reports whether the key is present without transferring the value
+// (diagnostic helper; not a paper command).
+func (d *Device) Exists(nsID uint32, key uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ns, ok := d.namespaces[nsID]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
+	}
+	if ns.swapped {
+		return false, ErrSwappedOut
+	}
+	_, _, err := ns.index.Get(key)
+	if errors.Is(err, hashindex.ErrNotFound) {
+		return false, nil
+	}
+	return err == nil, nil
+}

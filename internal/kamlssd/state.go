@@ -1,0 +1,380 @@
+package kamlssd
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/nvme"
+	"github.com/kaml-ssd/kaml/internal/record"
+)
+
+// This file implements two §IV-C features that depend on treating the SSD's
+// DRAM as persistent (battery/capacitor-backed, per the paper's assumption):
+//
+//   - swapping an idle namespace's mapping table out to flash and reloading
+//     it on the next access, and
+//   - power-failure recovery: a crash snapshot captures exactly the
+//     DRAM-resident state (indices, NVRAM staging buffers, allocator
+//     metadata); Restore rebuilds a device around the surviving flash array
+//     and replays the NVRAM contents.
+
+// SwapOutIndex serializes the namespace's mapping table to flash pages and
+// releases its DRAM ("KAML employs a simple policy to swap unused mapping
+// tables out to flash to make room for those in use").
+func (d *Device) SwapOutIndex(nsID uint32) error {
+	// The index must not reference NVRAM staging entries when it goes to
+	// flash (the serialized location would dangle once the flusher installs
+	// the flash address). Swap targets idle namespaces (§IV-C), so drain
+	// and verify; concurrent writers make the namespace ineligible.
+	for attempt := 0; ; attempt++ {
+		d.Flush()
+		d.mu.Lock()
+		ns, ok := d.namespaces[nsID]
+		if !ok {
+			d.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
+		}
+		if ns.swapped {
+			d.mu.Unlock()
+			return nil
+		}
+		dirty := false
+		ns.index.Range(func(_, val uint64) bool {
+			if !location(val).isFlash() {
+				dirty = true
+				return false
+			}
+			return true
+		})
+		if !dirty {
+			break // d.mu still held below
+		}
+		d.mu.Unlock()
+		if attempt > 8 {
+			return fmt.Errorf("kamlssd: namespace %d is being written; cannot swap out", nsID)
+		}
+	}
+	ns := d.namespaces[nsID]
+	blob := ns.index.Serialize()
+	capacity := ns.index.Capacity()
+	header := make([]byte, 24)
+	binary.LittleEndian.PutUint64(header[0:8], uint64(len(blob)))
+	binary.LittleEndian.PutUint64(header[8:16], uint64(capacity))
+	header[16] = byte(ns.index.Kind())
+	blob = append(header, blob...)
+	lg := d.logs[ns.logIDs[0]]
+	d.mu.Unlock()
+
+	var pages []flash.PPN
+	for off := 0; off < len(blob); off += d.fc.PageSize {
+		end := off + d.fc.PageSize
+		if end > len(blob) {
+			end = len(blob)
+		}
+		d.mu.Lock()
+		ppn, err := lg.nextPPN(true)
+		d.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		oob := make([]byte, 9)
+		oob[8] = pageTypeIndex
+		if err := d.arr.ProgramPage(ppn, blob[off:end], oob); err != nil {
+			return err
+		}
+		pages = append(pages, ppn)
+	}
+
+	d.mu.Lock()
+	chunksPerPage := d.fc.PageSize / d.cfg.ChunkSize
+	for _, p := range pages {
+		d.creditValid(flashLoc(p, 0, chunksPerPage))
+	}
+	ns.swapPages = pages
+	ns.swapped = true
+	ns.index = nil
+	d.mu.Unlock()
+	return nil
+}
+
+// loadIndex reads a swapped-out mapping table back into DRAM. Called
+// without d.mu held; concurrent loads of the same namespace serialize.
+func (d *Device) loadIndex(nsID uint32) error {
+	for {
+		d.mu.Lock()
+		ns, ok := d.namespaces[nsID]
+		if !ok {
+			d.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
+		}
+		if !ns.swapped {
+			d.mu.Unlock()
+			return nil
+		}
+		if !ns.loading {
+			ns.loading = true
+			pages := append([]flash.PPN(nil), ns.swapPages...)
+			d.mu.Unlock()
+			return d.finishLoad(nsID, pages)
+		}
+		d.mu.Unlock()
+		d.eng.Sleep(d.cfg.FlushPoll) // another actor is loading; wait
+	}
+}
+
+func (d *Device) finishLoad(nsID uint32, pages []flash.PPN) error {
+	var blob []byte
+	for _, p := range pages {
+		data, _, err := d.arr.ReadPage(p)
+		if err != nil {
+			return fmt.Errorf("kamlssd: load index ns %d: %w", nsID, err)
+		}
+		blob = append(blob, data...)
+	}
+	if len(blob) < 24 {
+		return fmt.Errorf("kamlssd: load index ns %d: short blob", nsID)
+	}
+	total := binary.LittleEndian.Uint64(blob[0:8])
+	capacity := binary.LittleEndian.Uint64(blob[8:16])
+	kind := IndexKind(blob[16])
+	if uint64(len(blob)-24) < total {
+		return fmt.Errorf("kamlssd: load index ns %d: truncated blob", nsID)
+	}
+	// Rebuild at the original capacity so load-factor behaviour persists.
+	tbl, err := deserializeIndex(kind, blob[24:24+total], int(capacity), d.cfg.AutoGrowIndex)
+	if err != nil {
+		return fmt.Errorf("kamlssd: load index ns %d: %w", nsID, err)
+	}
+
+	d.mu.Lock()
+	ns, ok := d.namespaces[nsID]
+	if ok {
+		chunksPerPage := d.fc.PageSize / d.cfg.ChunkSize
+		for _, p := range ns.swapPages {
+			d.discountValid(flashLoc(p, 0, chunksPerPage))
+		}
+		ns.index = tbl
+		ns.swapped = false
+		ns.loading = false
+		ns.swapPages = nil
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// State is a crash snapshot of the device's persistent DRAM. It references
+// deep copies, so the snapshot stays consistent after the original device
+// keeps running (useful for "crash at time T" tests).
+type State struct {
+	NextNSID uint32
+	NVSeq    uint64
+	NVRAM    map[uint64][]byte
+	NS       []nsSnapshot
+	Logs     []logSnapshot
+}
+
+type nsSnapshot struct {
+	id        uint32
+	indexBlob []byte
+	indexCap  int
+	indexKind IndexKind
+	logIDs    []int
+	swapped   bool
+	swapPages []flash.PPN
+	origin    uint32
+	readonly  bool
+}
+
+type logSnapshot struct {
+	packerRecs []pendingRec // records re-staged on restore
+	sealed     []sealedPage
+	activeHost *appendPoint
+	activeGC   *appendPoint
+	nextChip   int
+	freeBlocks int
+	chips      []logChipSnapshot
+}
+
+type logChipSnapshot struct {
+	free   []int
+	blocks []blockMeta
+}
+
+// Crash abruptly halts the device — as a power cut would — and returns the
+// DRAM snapshot. In-flight flash programs are abandoned (sealed pages stay
+// queued in the snapshot; Restore's flushers replay them, tolerating pages
+// the pre-crash program already completed). The device is unusable after.
+func (d *Device) Crash() *State {
+	d.mu.Lock()
+	st := &State{
+		NextNSID: d.nextNSID,
+		NVSeq:    d.nvSeq,
+		NVRAM:    make(map[uint64][]byte, len(d.nvram)),
+	}
+	for k, v := range d.nvram {
+		st.NVRAM[k] = append([]byte(nil), v...)
+	}
+	for _, ns := range d.namespaces {
+		snap := nsSnapshot{
+			id:        ns.id,
+			logIDs:    append([]int(nil), ns.logIDs...),
+			swapped:   ns.swapped,
+			swapPages: append([]flash.PPN(nil), ns.swapPages...),
+			origin:    ns.origin,
+			readonly:  ns.readonly,
+		}
+		if !ns.swapped {
+			snap.indexBlob = ns.index.Serialize()
+			snap.indexCap = ns.index.Capacity()
+			snap.indexKind = ns.index.Kind()
+		}
+		st.NS = append(st.NS, snap)
+	}
+	for _, lg := range d.logs {
+		ls := logSnapshot{
+			packerRecs: append([]pendingRec(nil), lg.pending...),
+			activeHost: cloneAppend(lg.activeHost),
+			activeGC:   cloneAppend(lg.activeGC),
+			nextChip:   lg.nextChip,
+			freeBlocks: lg.freeBlocks,
+		}
+		queue := lg.sealedQueue
+		if lg.inflight != nil {
+			// The page mid-program at the instant of the crash replays
+			// first; Restore's flusher tolerates a completed program.
+			queue = append([]sealedPage{*lg.inflight}, queue...)
+		}
+		for _, sp := range queue {
+			ls.sealed = append(ls.sealed, sealedPage{
+				ppn:     sp.ppn,
+				data:    append([]byte(nil), sp.data...),
+				oob:     append([]byte(nil), sp.oob...),
+				pending: append([]pendingRec(nil), sp.pending...),
+			})
+		}
+		// The open packer's page image is rebuilt on restore from NVRAM
+		// values, so only the pending descriptors are captured.
+		for _, lc := range lg.chips {
+			ls.chips = append(ls.chips, logChipSnapshot{
+				free:   append([]int(nil), lc.free...),
+				blocks: append([]blockMeta(nil), lc.blocks...),
+			})
+		}
+		st.Logs = append(st.Logs, ls)
+	}
+	d.closed = true
+	d.crashed = true
+	for _, lg := range d.logs {
+		lg.spaceCv.Broadcast()
+	}
+	d.mu.Unlock()
+	d.stopped.Wait()
+	return st
+}
+
+func cloneAppend(a *appendPoint) *appendPoint {
+	if a == nil {
+		return nil
+	}
+	c := *a
+	return &c
+}
+
+// Restore rebuilds a device from a crash snapshot over the surviving flash
+// array — the firmware's power-failure recovery path. The configuration and
+// flash geometry must match the pre-crash device.
+func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*Device, error) {
+	fc := arr.Config()
+	d := &Device{
+		cfg:        cfg,
+		fc:         fc,
+		arr:        arr,
+		ctrl:       ctrl,
+		eng:        arr.Engine(),
+		namespaces: make(map[uint32]*namespace),
+		nextNSID:   st.NextNSID,
+		nvSeq:      st.NVSeq,
+		nvram:      make(map[uint64][]byte, len(st.NVRAM)),
+	}
+	d.mu = d.eng.NewMutex("kaml")
+	d.keyLks = newKeyLockTable(d.eng, d.mu)
+	d.buildLogs()
+	for k, v := range st.NVRAM {
+		d.nvram[k] = append([]byte(nil), v...)
+	}
+	for _, snap := range st.NS {
+		ns := &namespace{
+			id:        snap.id,
+			logIDs:    append([]int(nil), snap.logIDs...),
+			swapped:   snap.swapped,
+			swapPages: append([]flash.PPN(nil), snap.swapPages...),
+			origin:    snap.origin,
+			readonly:  snap.readonly,
+		}
+		if !snap.swapped {
+			tbl, err := deserializeIndex(snap.indexKind, snap.indexBlob, snap.indexCap, cfg.AutoGrowIndex)
+			if err != nil {
+				return nil, fmt.Errorf("kamlssd: restore ns %d: %w", snap.id, err)
+			}
+			ns.index = tbl
+		}
+		d.namespaces[ns.id] = ns
+	}
+	if len(st.Logs) != len(d.logs) {
+		return nil, fmt.Errorf("kamlssd: restore with %d logs, snapshot has %d",
+			len(d.logs), len(st.Logs))
+	}
+	for i, ls := range st.Logs {
+		lg := d.logs[i]
+		lg.nextChip = ls.nextChip
+		lg.freeBlocks = ls.freeBlocks
+		lg.activeHost = cloneAppend(ls.activeHost)
+		lg.activeGC = cloneAppend(ls.activeGC)
+		if len(ls.chips) != len(lg.chips) {
+			return nil, fmt.Errorf("kamlssd: restore log %d chip mismatch", i)
+		}
+		for ci, cs := range ls.chips {
+			lg.chips[ci].free = append([]int(nil), cs.free...)
+			lg.chips[ci].blocks = append([]blockMeta(nil), cs.blocks...)
+		}
+		// A GC program may have been allocated but never issued before the
+		// crash; re-synchronize the GC append point with the flash block's
+		// actual fill so the stream stays sequential.
+		if lg.activeGC != nil {
+			ch, chip := lg.chipAddr(lg.activeGC.chip)
+			actual := arr.ProgrammedPages(arr.BlockPPN(ch, chip, lg.activeGC.block, 0))
+			if actual >= 0 && actual < lg.activeGC.page {
+				lg.activeGC.page = actual
+			}
+		}
+		for _, sp := range ls.sealed {
+			lg.sealedQueue = append(lg.sealedQueue, sealedPage{
+				ppn:     sp.ppn,
+				data:    append([]byte(nil), sp.data...),
+				oob:     append([]byte(nil), sp.oob...),
+				pending: append([]pendingRec(nil), sp.pending...),
+			})
+		}
+		// Re-stage the open packer from the NVRAM values (§IV-D recovery:
+		// "the firmware recovers using the data in the non-volatile
+		// buffers").
+		for _, pr := range ls.packerRecs {
+			val, ok := d.nvram[pr.seq]
+			if !ok {
+				return nil, fmt.Errorf("kamlssd: restore log %d: NVRAM seq %d missing", i, pr.seq)
+			}
+			rec := record.Record{Namespace: pr.ns, Key: pr.key, Value: val}
+			if lg.packer.Empty() {
+				lg.packerBorn = d.eng.Now()
+			}
+			chunk := lg.packer.Add(rec)
+			if chunk != pr.chunk {
+				return nil, fmt.Errorf("kamlssd: restore log %d: chunk drift %d != %d", i, chunk, pr.chunk)
+			}
+			lg.pending = append(lg.pending, pr)
+		}
+	}
+	d.startActors()
+	return d, nil
+}

@@ -1,0 +1,393 @@
+// Package kvproto implements a small line-oriented TCP protocol exposing a
+// KAML device as a network key-value store — the shape of service the
+// paper's introduction motivates (and the Kinetic-style deployment §VI
+// contrasts with). Values are binary-safe via length-prefixed payloads.
+//
+// Requests:
+//
+//	CREATE <expectedKeys>\n            -> NS <id>\n
+//	SNAPSHOT <ns>\n                    -> NS <id>\n
+//	DELETE <ns>\n                      -> OK\n
+//	PUT <ns> <key> <len>\n<len bytes>  -> OK\n
+//	GET <ns> <key>\n                   -> VAL <len>\n<len bytes> | ERR not-found\n
+//	STATS\n                            -> STATS puts=<n> gets=<n> ...\n
+//	QUIT\n                             -> BYE\n
+//
+// The server bridges real network goroutines onto the device's simulated
+// clock: each request executes as a short-lived simulation actor while the
+// connection goroutine waits on a channel.
+package kvproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+// MaxValueLen bounds a PUT payload.
+const MaxValueLen = 1 << 20
+
+// Server serves the protocol over a listener.
+type Server struct {
+	dev *kaml.Device
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer wraps an open device.
+func NewServer(dev *kaml.Device) *Server {
+	return &Server{dev: dev, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener and open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// runOnDevice executes fn as a simulation actor and waits for it.
+func (s *Server) runOnDevice(fn func()) {
+	done := make(chan struct{})
+	s.dev.Go(func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "CREATE":
+			s.cmdCreate(w, fields)
+		case "SNAPSHOT":
+			s.cmdSnapshot(w, fields)
+		case "DELETE":
+			s.cmdDelete(w, fields)
+		case "PUT":
+			s.cmdPut(w, r, fields)
+		case "GET":
+			s.cmdGet(w, fields)
+		case "STATS":
+			s.cmdStats(w)
+		case "QUIT":
+			fmt.Fprintf(w, "BYE\n")
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) cmdCreate(w io.Writer, fields []string) {
+	expected := 0
+	if len(fields) >= 2 {
+		expected, _ = strconv.Atoi(fields[1])
+	}
+	var ns kaml.Namespace
+	var err error
+	s.runOnDevice(func() {
+		ns, err = s.dev.CreateNamespace(kaml.NamespaceOptions{ExpectedKeys: expected})
+	})
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "NS %d\n", ns)
+}
+
+func (s *Server) cmdSnapshot(w io.Writer, fields []string) {
+	if len(fields) < 2 {
+		fmt.Fprintf(w, "ERR usage: SNAPSHOT <ns>\n")
+		return
+	}
+	ns, perr := strconv.ParseUint(fields[1], 10, 32)
+	if perr != nil {
+		fmt.Fprintf(w, "ERR bad namespace\n")
+		return
+	}
+	var snap kaml.Namespace
+	var err error
+	s.runOnDevice(func() { snap, err = s.dev.Snapshot(uint32(ns)) })
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "NS %d\n", snap)
+}
+
+func (s *Server) cmdDelete(w io.Writer, fields []string) {
+	if len(fields) < 2 {
+		fmt.Fprintf(w, "ERR usage: DELETE <ns>\n")
+		return
+	}
+	ns, perr := strconv.ParseUint(fields[1], 10, 32)
+	if perr != nil {
+		fmt.Fprintf(w, "ERR bad namespace\n")
+		return
+	}
+	var err error
+	s.runOnDevice(func() { err = s.dev.DeleteNamespace(uint32(ns)) })
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK\n")
+}
+
+func (s *Server) cmdPut(w io.Writer, r *bufio.Reader, fields []string) {
+	if len(fields) < 4 {
+		fmt.Fprintf(w, "ERR usage: PUT <ns> <key> <len>\n")
+		return
+	}
+	ns, e1 := strconv.ParseUint(fields[1], 10, 32)
+	key, e2 := strconv.ParseUint(fields[2], 10, 64)
+	n, e3 := strconv.Atoi(fields[3])
+	if e1 != nil || e2 != nil || e3 != nil || n < 0 || n > MaxValueLen {
+		fmt.Fprintf(w, "ERR bad arguments\n")
+		return
+	}
+	val := make([]byte, n)
+	if _, err := io.ReadFull(r, val); err != nil {
+		fmt.Fprintf(w, "ERR short payload\n")
+		return
+	}
+	var err error
+	s.runOnDevice(func() { err = s.dev.Put(uint32(ns), key, val) })
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "OK\n")
+}
+
+func (s *Server) cmdGet(w io.Writer, fields []string) {
+	if len(fields) < 3 {
+		fmt.Fprintf(w, "ERR usage: GET <ns> <key>\n")
+		return
+	}
+	ns, e1 := strconv.ParseUint(fields[1], 10, 32)
+	key, e2 := strconv.ParseUint(fields[2], 10, 64)
+	if e1 != nil || e2 != nil {
+		fmt.Fprintf(w, "ERR bad arguments\n")
+		return
+	}
+	var val []byte
+	var err error
+	s.runOnDevice(func() { val, err = s.dev.Get(uint32(ns), key) })
+	if errors.Is(err, kaml.ErrKeyNotFound) {
+		fmt.Fprintf(w, "ERR not-found\n")
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "VAL %d\n", len(val))
+	w.Write(val)
+	fmt.Fprintf(w, "\n")
+}
+
+func (s *Server) cmdStats(w io.Writer) {
+	var st kaml.Stats
+	s.runOnDevice(func() { st = s.dev.Stats() })
+	fmt.Fprintf(w, "STATS puts=%d gets=%d records=%d programs=%d gc_copies=%d gc_erases=%d\n",
+		st.Puts, st.Gets, st.PutRecords, st.Programs, st.GCCopies, st.GCErases)
+}
+
+// Client is a minimal client for the protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	mu   sync.Mutex
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "QUIT\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(req string) (string, error) {
+	if _, err := c.w.WriteString(req); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+func parseErr(resp string) error {
+	if strings.HasPrefix(resp, "ERR ") {
+		return errors.New(resp[4:])
+	}
+	return fmt.Errorf("kvproto: unexpected response %q", resp)
+}
+
+// CreateNamespace asks the server for a new namespace.
+func (c *Client) CreateNamespace(expectedKeys int) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(fmt.Sprintf("CREATE %d\n", expectedKeys))
+	if err != nil {
+		return 0, err
+	}
+	var ns uint32
+	if _, err := fmt.Sscanf(resp, "NS %d", &ns); err != nil {
+		return 0, parseErr(resp)
+	}
+	return ns, nil
+}
+
+// Put stores a value.
+func (c *Client) Put(ns uint32, key uint64, val []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "PUT %d %d %d\n", ns, key, len(val))
+	c.w.Write(val)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != "OK" {
+		return parseErr(strings.TrimSpace(line))
+	}
+	return nil
+}
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("kvproto: key not found")
+
+// Get fetches a value.
+func (c *Client) Get(ns uint32, key uint64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(fmt.Sprintf("GET %d %d\n", ns, key))
+	if err != nil {
+		return nil, err
+	}
+	if resp == "ERR not-found" {
+		return nil, ErrNotFound
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "VAL %d", &n); err != nil {
+		return nil, parseErr(resp)
+	}
+	val := make([]byte, n)
+	if _, err := io.ReadFull(c.r, val); err != nil {
+		return nil, err
+	}
+	// trailing newline
+	if _, err := c.r.ReadString('\n'); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// Snapshot asks the server to snapshot a namespace.
+func (c *Client) Snapshot(ns uint32) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(fmt.Sprintf("SNAPSHOT %d\n", ns))
+	if err != nil {
+		return 0, err
+	}
+	var snap uint32
+	if _, err := fmt.Sscanf(resp, "NS %d", &snap); err != nil {
+		return 0, parseErr(resp)
+	}
+	return snap, nil
+}
+
+// Stats fetches the server's device counters as a raw line.
+func (c *Client) Stats() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTrip("STATS\n")
+}

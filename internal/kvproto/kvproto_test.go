@@ -1,0 +1,139 @@
+package kvproto
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	dev, err := kaml.Open(kaml.SmallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(dev)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		done := make(chan struct{})
+		dev.Go(func() { defer close(done); dev.Close() })
+		<-done
+	})
+	return srv, ln.Addr().String()
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ns, err := c.CreateNamespace(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte{0xAB, 0x00, 0x0A}, 100) // binary-safe
+	if err := c.Put(ns, 7, val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(ns, 7)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("get: %v (len %d)", err, len(got))
+	}
+	if _, err := c.Get(ns, 999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	stats, err := c.Stats()
+	if err != nil || !strings.HasPrefix(stats, "STATS ") {
+		t.Fatalf("stats: %q %v", stats, err)
+	}
+
+	// Snapshot over the wire.
+	snap, err := c.Snapshot(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(ns, 7, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	old, err := c.Get(snap, 7)
+	if err != nil || !bytes.Equal(old, val) {
+		t.Fatalf("snapshot get: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	setup, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := setup.CreateNamespace(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				key := uint64(w*100 + i)
+				if err := c.Put(ns, key, []byte{byte(w), byte(i)}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				v, err := c.Get(ns, key)
+				if err != nil || v[0] != byte(w) || v[1] != byte(i) {
+					t.Errorf("get %d: %v", key, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewClient(conn)
+	defer c.Close()
+
+	// Unknown namespace.
+	if err := c.Put(99, 1, []byte("x")); err == nil {
+		t.Fatal("put to missing namespace accepted")
+	}
+	// Raw garbage command still keeps the connection alive.
+	if _, err := c.roundTrip("BOGUS\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateNamespace(10); err != nil {
+		t.Fatalf("connection broken after bad command: %v", err)
+	}
+}

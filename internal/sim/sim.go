@@ -1,0 +1,250 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Everything in this repository that has a notion of time — flash chips,
+// NVMe transport, firmware CPUs, host "threads" running transactions —
+// executes on the virtual clock owned by an Engine. An actor is an ordinary
+// goroutine registered with the engine; whenever every actor is blocked in a
+// sim primitive (Sleep, Mutex, Cond, Semaphore, ...) the engine advances the
+// clock to the earliest pending timer and wakes the actors due at that
+// instant. Because no actor ever blocks on real I/O or real time, the whole
+// simulation is deterministic and runs as fast as the host CPU allows.
+//
+// The one rule actors must follow: any blocking interaction between actors
+// must go through a sim primitive. Blocking on a plain channel or sync.Mutex
+// while registered would stall the clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Engine owns the virtual clock and the set of registered actors.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	mu       sync.Mutex
+	now      time.Duration // virtual time since engine start
+	runnable int           // actors currently executing (not parked)
+	actors   int           // registered actors (running or parked)
+	timers   timerHeap
+	seq      uint64 // tiebreak for timers at equal deadlines (determinism)
+
+	// waiters parked on mutexes/conds/semaphores; tracked only so that a
+	// true deadlock produces a diagnostic instead of a silent hang.
+	parked map[*parkToken]string
+
+	idle          chan struct{} // closed & replaced each time actors reaches zero
+	watchdogArmed bool          // a stall watchdog timer is pending
+	onDeadlock    func(string)  // test hook; replaces the deadlock panic
+}
+
+// NewEngine returns an engine with the clock at zero and no actors.
+func NewEngine() *Engine {
+	return &Engine{
+		parked: make(map[*parkToken]string),
+		idle:   make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Go spawns fn as a new actor. It may be called from inside or outside the
+// simulation. The actor is runnable immediately.
+func (e *Engine) Go(name string, fn func()) {
+	e.mu.Lock()
+	e.actors++
+	e.runnable++
+	e.mu.Unlock()
+	go func() {
+		defer e.exit(name)
+		fn()
+	}()
+}
+
+func (e *Engine) exit(name string) {
+	if r := recover(); r != nil {
+		// Re-panic immediately WITHOUT touching e.mu: the panic may have
+		// been raised inside a primitive that still holds it (deadlock
+		// detection), and the process is about to die anyway.
+		panic(r)
+	}
+	e.mu.Lock()
+	e.actors--
+	e.runnable--
+	if e.runnable == 0 && e.actors > 0 {
+		e.advanceLocked()
+	}
+	if e.actors == 0 {
+		close(e.idle)
+		e.idle = make(chan struct{})
+	}
+	e.mu.Unlock()
+}
+
+// Wait blocks the (non-actor) caller until every actor has exited.
+// It is typically called from the test or benchmark goroutine after
+// spawning the workload with Go.
+func (e *Engine) Wait() {
+	e.mu.Lock()
+	if e.actors == 0 {
+		e.mu.Unlock()
+		return
+	}
+	ch := e.idle
+	e.mu.Unlock()
+	<-ch
+}
+
+// Sleep parks the calling actor for d of virtual time. d <= 0 yields
+// without advancing the clock (the actor is immediately re-runnable).
+func (e *Engine) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	tok := newParkToken()
+	e.mu.Lock()
+	e.seq++
+	heap.Push(&e.timers, &timer{when: e.now + d, seq: e.seq, tok: tok})
+	e.blockLocked(tok, "sleep")
+	e.mu.Unlock()
+	<-tok.ch
+}
+
+// blockLocked marks the calling actor as parked and, if it was the last
+// runnable actor, advances the clock. Caller holds e.mu.
+func (e *Engine) blockLocked(tok *parkToken, why string) {
+	e.parked[tok] = why
+	e.runnable--
+	if e.runnable == 0 {
+		e.advanceLocked()
+	}
+}
+
+// wakeLocked transfers a parked actor back to runnable. Caller holds e.mu.
+func (e *Engine) wakeLocked(tok *parkToken) {
+	delete(e.parked, tok)
+	e.runnable++
+	close(tok.ch)
+}
+
+// advanceLocked pops every timer due at the earliest deadline and wakes its
+// actor. Caller holds e.mu.
+//
+// If no timers exist while actors are parked, the simulation has stalled.
+// That is usually a deadlock — but it also happens transiently while a
+// non-actor goroutine (a constructor, a network handler) is between Go()
+// calls: the actors it already spawned may all park before the one that
+// owns the first timer exists. So a stall arms a real-time watchdog
+// instead of panicking immediately; any Go() or wake disarms it, and a
+// stall that persists for stallTimeout of wall-clock time is reported as
+// a deadlock with a state dump.
+func (e *Engine) advanceLocked() {
+	if len(e.timers) == 0 {
+		if len(e.parked) == 0 {
+			return // all actors exited or exiting
+		}
+		e.armWatchdogLocked()
+		return
+	}
+	first := e.timers[0].when
+	if first < e.now {
+		panic(fmt.Sprintf("sim: timer in the past (%v < %v)", first, e.now))
+	}
+	e.now = first
+	for len(e.timers) > 0 && e.timers[0].when == first {
+		t := heap.Pop(&e.timers).(*timer)
+		e.wakeLocked(t.tok)
+	}
+}
+
+// stallTimeout is how long a no-timer, all-parked state may persist in
+// real time before it is reported as a deadlock (variable for tests).
+var stallTimeout = 5 * time.Second
+
+// armWatchdogLocked schedules the deadlock report. Caller holds e.mu.
+func (e *Engine) armWatchdogLocked() {
+	if e.watchdogArmed {
+		return
+	}
+	e.watchdogArmed = true
+	time.AfterFunc(stallTimeout, func() {
+		e.mu.Lock()
+		e.watchdogArmed = false
+		stalled := e.runnable == 0 && len(e.timers) == 0 && len(e.parked) > 0
+		if !stalled {
+			e.mu.Unlock()
+			return
+		}
+		// Release e.mu before panicking: unwinding runs deferred functions
+		// (waitgroup Done, unlocks) that may need the engine lock.
+		msg := "sim: deadlock — all actors parked with no pending timers\n" + e.stateLocked()
+		hook := e.onDeadlock
+		e.mu.Unlock()
+		if hook != nil {
+			hook(msg)
+			return
+		}
+		panic(msg)
+	})
+}
+
+func (e *Engine) stateLocked() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  now=%v actors=%d runnable=%d parked=%d timers=%d\n",
+		e.now, e.actors, e.runnable, len(e.parked), len(e.timers))
+	reasons := make(map[string]int)
+	for _, why := range e.parked {
+		reasons[why]++
+	}
+	keys := make([]string, 0, len(reasons))
+	for k := range reasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  parked on %q: %d\n", k, reasons[k])
+	}
+	return b.String()
+}
+
+// parkToken is the rendezvous for one parked actor.
+type parkToken struct {
+	ch chan struct{}
+}
+
+func newParkToken() *parkToken { return &parkToken{ch: make(chan struct{})} }
+
+type timer struct {
+	when time.Duration
+	seq  uint64
+	tok  *parkToken
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

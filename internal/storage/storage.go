@@ -1,0 +1,88 @@
+// Package storage defines the engine-neutral transactional interface that
+// both storage engines in this repository implement:
+//
+//   - the KAML caching layer (internal/cache) running on the KAML SSD, and
+//   - the Shore-MT-style baseline (internal/shoremt) running on the block
+//     device with ARIES-style logging.
+//
+// The paper's OLTP and YCSB workloads (internal/workload) are written
+// against this interface so both engines run byte-identical transaction
+// mixes (§V-A: "our implementation ... uses the same lock manager as
+// Shore-MT").
+package storage
+
+import "errors"
+
+// Errors shared by engine implementations.
+var (
+	// ErrNotFound reports a read of a key that does not exist.
+	ErrNotFound = errors.New("storage: key not found")
+	// ErrAborted reports that the transaction was killed by concurrency
+	// control (wait-die) and should be retried by the application.
+	ErrAborted = errors.New("storage: transaction aborted by concurrency control")
+	// ErrTxnDone reports use of a committed/aborted transaction.
+	ErrTxnDone = errors.New("storage: transaction already finished")
+)
+
+// TableHint passes sizing information to CreateTable.
+type TableHint struct {
+	ExpectedRows int // pre-size indices / mapping tables
+}
+
+// Engine is a transactional key-value storage engine.
+type Engine interface {
+	// CreateTable allocates a new table (a KAML namespace, or a heap file
+	// plus index in the baseline) and returns its ID.
+	CreateTable(name string, hint TableHint) (uint32, error)
+	// Begin starts a transaction.
+	Begin() Tx
+	// BeginRetry starts a transaction that retries prev after a wait-die
+	// abort, inheriting its concurrency-control priority. Reusing the
+	// timestamp is what gives wait-die its liveness guarantee: a retried
+	// transaction ages until it is the oldest and can no longer be killed.
+	BeginRetry(prev Tx) Tx
+	// Close shuts the engine down; all transactions must be finished.
+	Close()
+}
+
+// RunTxn executes fn in a transaction, retrying wait-die aborts with
+// inherited priority until it commits or fails for a non-retryable reason.
+// fn must return the error from tx.Commit() on its success path.
+func RunTxn(eng Engine, fn func(tx Tx) error) error {
+	var prev Tx
+	for {
+		var tx Tx
+		if prev == nil {
+			tx = eng.Begin()
+		} else {
+			tx = eng.BeginRetry(prev)
+		}
+		err := fn(tx)
+		tx.Free()
+		if err == nil || !errors.Is(err, ErrAborted) {
+			return err
+		}
+		prev = tx
+	}
+}
+
+// Tx is one transaction. All methods must be called from a sim actor.
+// The state machine matches the paper's Fig. 2: ACTIVE until Commit or
+// Abort, then finished; Free releases resources.
+type Tx interface {
+	// Read returns the value stored under (table, key), acquiring a shared
+	// lock. The returned slice is a private copy.
+	Read(table uint32, key uint64) ([]byte, error)
+	// Update stages a new value for an existing or new key under an
+	// exclusive lock; it becomes durable at Commit.
+	Update(table uint32, key uint64, value []byte) error
+	// Insert stages a new record under an exclusive lock.
+	Insert(table uint32, key uint64, value []byte) error
+	// Commit makes every staged write atomic and durable, then releases
+	// locks (strong strict two-phase locking).
+	Commit() error
+	// Abort discards staged writes and releases locks.
+	Abort()
+	// Free releases the transaction's resources (paper's TransactionFree).
+	Free()
+}

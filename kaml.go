@@ -1,0 +1,308 @@
+// Package kaml is a from-scratch reproduction of the key-addressable,
+// multi-log SSD from "KAML: A Flexible, High-Performance Key-Value SSD"
+// (HPCA 2017), together with everything its evaluation needs: a NAND flash
+// array simulator with realistic timing, an NVMe-like transport, the KAML
+// firmware (namespaces, multi-log flash management, atomic multi-record
+// Put, GC and wear leveling), the host caching layer with SS2PL
+// transactions, a conventional block-SSD baseline, and a Shore-MT-style
+// ARIES storage engine for comparison.
+//
+// Everything runs on a deterministic virtual clock: operations cost
+// simulated time derived from flash and transport models rather than wall
+// time, so experiments are fast and exactly reproducible. The one usage
+// rule this imposes: all calls into the device or the transaction layer
+// must happen on a simulation actor — start one with Device.Go and wait
+// with Device.Wait (see the examples/ directory).
+//
+// # Quick start
+//
+//	dev, _ := kaml.Open(kaml.DefaultOptions())
+//	dev.Go(func() {
+//	    defer dev.Close()
+//	    ns, _ := dev.CreateNamespace(kaml.NamespaceOptions{})
+//	    _ = dev.Put(ns, 42, []byte("hello"))
+//	    v, _ := dev.Get(ns, 42)
+//	    fmt.Printf("%s\n", v)
+//	})
+//	dev.Wait()
+//
+// For transactions, wrap the device in a Cache (the paper's caching
+// layer) and use Begin/Read/Update/Insert/Commit.
+package kaml
+
+import (
+	"errors"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/cache"
+	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/kamlssd"
+	"github.com/kaml-ssd/kaml/internal/nvme"
+	"github.com/kaml-ssd/kaml/internal/sim"
+	"github.com/kaml-ssd/kaml/internal/storage"
+)
+
+// Errors surfaced by the public API.
+var (
+	// ErrKeyNotFound reports a Get of an absent key.
+	ErrKeyNotFound = kamlssd.ErrKeyNotFound
+	// ErrNoNamespace reports an operation on an unknown namespace.
+	ErrNoNamespace = kamlssd.ErrNoNamespace
+	// ErrValueTooLarge reports a value exceeding one flash page.
+	ErrValueTooLarge = kamlssd.ErrValueTooLarge
+	// ErrReadOnly reports a Put against a snapshot namespace.
+	ErrReadOnly = kamlssd.ErrReadOnly
+	// ErrTxnAborted reports a transaction killed by concurrency control;
+	// retry it.
+	ErrTxnAborted = storage.ErrAborted
+	// ErrTxnNotFoundKey reports a transactional read of an absent key.
+	ErrTxnNotFoundKey = storage.ErrNotFound
+)
+
+// Options configure a simulated KAML SSD.
+type Options struct {
+	// Flash selects the array geometry and timing.
+	Flash flash.Config
+	// Transport selects NVMe-layer latencies and controller resources.
+	Transport nvme.Config
+	// Firmware tunes the KAML FTL (log count, GC watermarks, ...).
+	Firmware kamlssd.Config
+}
+
+// DefaultOptions mirrors the paper's board: 16 channels x 4 chips, 8 KB
+// pages, 16 logs.
+func DefaultOptions() Options {
+	fc := flash.DefaultConfig()
+	return Options{
+		Flash:     fc,
+		Transport: nvme.DefaultConfig(),
+		Firmware:  kamlssd.DefaultConfig(fc),
+	}
+}
+
+// SmallOptions returns a scaled-down device that builds and churns quickly
+// in tests and examples.
+func SmallOptions() Options {
+	fc := flash.DefaultConfig()
+	fc.Channels = 4
+	fc.ChipsPerChannel = 2
+	fc.BlocksPerChip = 32
+	fc.PagesPerBlock = 16
+	fw := kamlssd.DefaultConfig(fc)
+	fw.NumLogs = 4
+	return Options{Flash: fc, Transport: nvme.DefaultConfig(), Firmware: fw}
+}
+
+// Device is a simulated KAML SSD plus the simulation engine it runs on.
+type Device struct {
+	eng *sim.Engine
+	dev *kamlssd.Device
+}
+
+// Open builds a device on a fresh virtual clock.
+func Open(opts Options) (*Device, error) {
+	if err := opts.Flash.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	arr := flash.New(eng, opts.Flash)
+	ctrl := nvme.New(eng, opts.Transport)
+	dev := kamlssd.New(arr, ctrl, opts.Firmware)
+	return &Device{eng: eng, dev: dev}, nil
+}
+
+// Go runs fn as a simulation actor. All device operations must happen
+// inside an actor.
+func (d *Device) Go(fn func()) { d.eng.Go("app", fn) }
+
+// Wait blocks the (real-world) caller until every actor has finished.
+func (d *Device) Wait() { d.eng.Wait() }
+
+// Now returns the current virtual time.
+func (d *Device) Now() time.Duration { return d.eng.Now() }
+
+// Sleep advances the calling actor by d of virtual time.
+func (d *Device) Sleep(dur time.Duration) { d.eng.Sleep(dur) }
+
+// Engine exposes the simulation engine (for spawning workers).
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// WaitGroup joins actors on the simulated clock. Actors must never block
+// on ordinary channels or sync primitives (that would stall the virtual
+// clock); use this to wait for workers spawned with Go.
+type WaitGroup struct{ wg *sim.WaitGroup }
+
+// NewWaitGroup returns a simulation-aware wait group.
+func (d *Device) NewWaitGroup() *WaitGroup {
+	return &WaitGroup{wg: d.eng.NewWaitGroup()}
+}
+
+// Add adds delta to the counter.
+func (w *WaitGroup) Add(delta int) { w.wg.Add(delta) }
+
+// Done decrements the counter.
+func (w *WaitGroup) Done() { w.wg.Done() }
+
+// Wait parks the calling actor until the counter reaches zero.
+func (w *WaitGroup) Wait() { w.wg.Wait() }
+
+// Raw exposes the firmware device for advanced use (experiments).
+func (d *Device) Raw() *kamlssd.Device { return d.dev }
+
+// Close drains the logs and stops the device's background actors. Call it
+// from an actor before the simulation ends.
+func (d *Device) Close() { d.dev.Close() }
+
+// NamespaceOptions configure CreateNamespace (Table I "attributes").
+type NamespaceOptions struct {
+	// ExpectedKeys sizes the namespace's mapping table (0 = device default).
+	ExpectedKeys int
+	// Logs bounds how many of the device's logs serve this namespace
+	// (0 = all; the Fig. 8 tuning knob).
+	Logs int
+	// TreeIndex selects a B+tree mapping table instead of the default hash
+	// table: ordered keys and no load-factor ceiling, at O(log n) lookup
+	// cost (§IV-C's per-namespace index flexibility).
+	TreeIndex bool
+}
+
+// Namespace identifies a key-value namespace.
+type Namespace = uint32
+
+// CreateNamespace allocates a namespace and returns its ID.
+func (d *Device) CreateNamespace(opts NamespaceOptions) (Namespace, error) {
+	capacity := 0
+	if opts.ExpectedKeys > 0 {
+		capacity = opts.ExpectedKeys * 4 / 3 // ~0.75 load factor
+	}
+	kind := kamlssd.IndexHash
+	if opts.TreeIndex {
+		kind = kamlssd.IndexTree
+	}
+	return d.dev.CreateNamespace(kamlssd.NamespaceAttrs{
+		IndexCapacity: capacity,
+		NumLogs:       opts.Logs,
+		Index:         kind,
+	})
+}
+
+// DeleteNamespace destroys a namespace; its records become garbage.
+func (d *Device) DeleteNamespace(ns Namespace) error {
+	return d.dev.DeleteNamespace(ns)
+}
+
+// Get retrieves the value stored under (ns, key).
+func (d *Device) Get(ns Namespace, key uint64) ([]byte, error) {
+	return d.dev.Get(ns, key)
+}
+
+// Put atomically inserts or updates a single key-value pair.
+func (d *Device) Put(ns Namespace, key uint64, value []byte) error {
+	return d.dev.Put([]kamlssd.PutRecord{{Namespace: ns, Key: key, Value: value}})
+}
+
+// Record is one element of an atomic batch Put.
+type Record = kamlssd.PutRecord
+
+// PutBatch atomically inserts or updates several key-value pairs, possibly
+// across namespaces — the paper's multi-part atomic write.
+func (d *Device) PutBatch(records []Record) error {
+	return d.dev.Put(records)
+}
+
+// Flush waits until every acknowledged Put has reached flash. KAML's
+// durability does not require it (the staging buffers are battery-backed);
+// it exists for tests and orderly shutdown.
+func (d *Device) Flush() { d.dev.Flush() }
+
+// TuneNamespaceLogs changes how many logs serve the namespace (Fig. 8).
+func (d *Device) TuneNamespaceLogs(ns Namespace, logs int) error {
+	return d.dev.SetNamespaceLogs(ns, logs)
+}
+
+// Snapshot creates a read-only, point-in-time snapshot of the namespace —
+// a copy of its mapping table; records are shared on flash and kept alive
+// by the garbage collector while any snapshot references them (§I's
+// "additional services like snapshots").
+func (d *Device) Snapshot(ns Namespace) (Namespace, error) {
+	return d.dev.SnapshotNamespace(ns)
+}
+
+// CacheOptions configure the host caching layer (paper §III-D).
+type CacheOptions struct {
+	// CapacityBytes bounds cached value bytes (controls the hit ratio).
+	CapacityBytes int64
+	// RecordsPerLock sets the locking granularity (1 = record-level).
+	RecordsPerLock int
+}
+
+// Cache is the host caching layer: a DRAM record cache plus a transaction
+// manager providing isolation (SS2PL) over the SSD's atomic Put.
+type Cache struct {
+	c *cache.Cache
+	d *Device
+}
+
+// NewCache builds a caching layer over the device.
+func (d *Device) NewCache(opts CacheOptions) *Cache {
+	return &Cache{
+		c: cache.New(d.dev, cache.Config{
+			CapacityBytes:  opts.CapacityBytes,
+			RecordsPerLock: opts.RecordsPerLock,
+		}),
+		d: d,
+	}
+}
+
+// CreateTable creates a namespace sized for the expected row count and
+// returns it for use with transactions.
+func (c *Cache) CreateTable(name string, expectedRows int) (Namespace, error) {
+	return c.c.CreateTable(name, storage.TableHint{ExpectedRows: expectedRows})
+}
+
+// HitRatio reports the cache's hit ratio so far.
+func (c *Cache) HitRatio() float64 { return c.c.HitRatio() }
+
+// Txn is a transaction on the caching layer (paper Table II / Fig. 2).
+type Txn struct {
+	tx storage.Tx
+}
+
+// Begin starts a transaction (TransactionBegin).
+func (c *Cache) Begin() *Txn { return &Txn{tx: c.c.Begin()} }
+
+// Read returns the value under (ns, key) with a shared lock
+// (TransactionRead).
+func (t *Txn) Read(ns Namespace, key uint64) ([]byte, error) {
+	return t.tx.Read(ns, key)
+}
+
+// Update stages a new value under an exclusive lock (TransactionUpdate).
+func (t *Txn) Update(ns Namespace, key uint64, value []byte) error {
+	return t.tx.Update(ns, key, value)
+}
+
+// Insert stages a new record under an exclusive lock (TransactionInsert).
+func (t *Txn) Insert(ns Namespace, key uint64, value []byte) error {
+	return t.tx.Insert(ns, key, value)
+}
+
+// Commit atomically persists the write set and releases locks
+// (TransactionCommit).
+func (t *Txn) Commit() error { return t.tx.Commit() }
+
+// Abort discards staged writes and releases locks (TransactionAbort).
+func (t *Txn) Abort() { t.tx.Abort() }
+
+// Free releases the transaction's resources (TransactionFree).
+func (t *Txn) Free() { t.tx.Free() }
+
+// IsRetryable reports whether err is a concurrency-control abort the
+// application should retry.
+func IsRetryable(err error) bool { return errors.Is(err, storage.ErrAborted) }
+
+// Stats is a snapshot of firmware counters.
+type Stats = kamlssd.Stats
+
+// Stats returns device counters (programs, GC activity, probes, ...).
+func (d *Device) Stats() Stats { return d.dev.Stats() }
