@@ -6,12 +6,14 @@
 //	kamlbench                  # run everything at the default scale
 //	kamlbench -run fig5,fig9   # specific experiments
 //	kamlbench -scale 2         # larger working sets / longer windows
+//	kamlbench -json out.json   # also write the tables as JSON ("-" = stdout)
 //	kamlbench -list            # list experiment IDs
 //
 // Experiment IDs: fig5 fig6 fig7 fig8 fig9 fig10 conflicts
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,9 +47,24 @@ func catalog() []experiment {
 	}
 }
 
+// jsonExperiment is one experiment's results in the -json report.
+type jsonExperiment struct {
+	ID          string                `json:"id"`
+	Description string                `json:"description"`
+	WallSeconds float64               `json:"wall_seconds"`
+	Tables      []*experiments.Table  `json:"tables"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Scale       float64          `json:"scale"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	scale := flag.Float64("scale", 1.0, "working-set / window scale factor")
+	jsonPath := flag.String("json", "", "write experiment tables as JSON to this path (\"-\" = stdout)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -78,15 +95,36 @@ func main() {
 		}
 	}
 
+	report := jsonReport{Scale: *scale}
 	for _, e := range cat {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
 		fmt.Printf("--- running %s (%s) ---\n", e.id, e.desc)
 		start := time.Now()
-		for _, tb := range e.run(experiments.Scale(*scale)) {
+		tables := e.run(experiments.Scale(*scale))
+		for _, tb := range tables {
 			fmt.Println(tb.Render())
 		}
-		fmt.Printf("(%s took %.1fs wall-clock)\n\n", e.id, time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		fmt.Printf("(%s took %.1fs wall-clock)\n\n", e.id, elapsed)
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: e.id, Description: e.desc, WallSeconds: elapsed, Tables: tables,
+		})
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode json: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

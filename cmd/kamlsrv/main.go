@@ -19,6 +19,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 
 	kaml "github.com/kaml-ssd/kaml"
 	"github.com/kaml-ssd/kaml/internal/kvproto"
@@ -45,10 +46,10 @@ func main() {
 	srv := kvproto.NewServer(dev)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sig
-		log.Printf("shutting down")
+		s := <-sig
+		log.Printf("received %v, shutting down", s)
 		srv.Close()
 	}()
 
@@ -57,4 +58,9 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+
+	// Final device counters, for post-mortems on what the run did.
+	st := dev.Stats()
+	log.Printf("final stats: gets=%d puts=%d put_records=%d programs=%d gc_erases=%d nvram_hits=%d program_retries=%d blocks_retired=%d",
+		st.Gets, st.Puts, st.PutRecords, st.Programs, st.GCErases, st.NVRAMHits, st.ProgramRetries, st.BlocksRetired)
 }

@@ -1,0 +1,111 @@
+// Package faultinject provides deterministic, seeded fault plans for the
+// flash array simulator. A Plan implements flash.Injector and generalizes
+// the array's original one-shot erase-failure hook into a full fault model:
+// per-operation failure probabilities (read errors, program failures, erase
+// failures) drawn from a seeded PRNG, plus a power cut triggered either at
+// a chosen virtual time or after a chosen number of program attempts.
+//
+// Count-based cuts are exactly reproducible regardless of actor scheduling;
+// probability draws are reproducible given the same sequence of operations.
+// The kamlssd crash-consistency torture test sweeps seeds over both.
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/flash"
+)
+
+// Config describes one fault plan.
+type Config struct {
+	// Seed initializes the plan's PRNG for probability draws.
+	Seed int64
+
+	// Per-operation failure probabilities in [0, 1]. A failed program
+	// consumes the page with garbage (the firmware must rewrite the payload
+	// to a fresh page); failed reads and erases leave the medium untouched.
+	ReadFailProb    float64
+	ProgramFailProb float64
+	EraseFailProb   float64
+
+	// CutAfterPrograms, when > 0, cuts power on the Nth program attempt
+	// (the Nth program never takes effect). Deterministic under any actor
+	// schedule because it counts operations, not time.
+	CutAfterPrograms int
+
+	// CutAtTime, when > 0, cuts power at the first operation issued at or
+	// after the given virtual time.
+	CutAtTime time.Duration
+
+	// TornPageOnCut makes a program-triggered power cut leave a torn page
+	// (partial data, zeroed OOB) instead of an unwritten one, exercising
+	// the recovery scanner's corruption detection.
+	TornPageOnCut bool
+}
+
+// Plan is a live fault plan; install it with flash.Array.SetInjector.
+// Safe for concurrent use by simulation actors.
+type Plan struct {
+	mu       sync.Mutex
+	cfg      Config
+	rng      *rand.Rand
+	programs int  // program attempts seen so far
+	cut      bool // power cut already delivered
+}
+
+// New builds a plan from cfg.
+func New(cfg Config) *Plan {
+	return &Plan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Decide implements flash.Injector.
+func (p *Plan) Decide(op flash.Op, ppn flash.PPN, now time.Duration) flash.Verdict {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.cut && p.cfg.CutAtTime > 0 && now >= p.cfg.CutAtTime {
+		p.cut = true
+		if op == flash.OpProgram && p.cfg.TornPageOnCut {
+			return flash.VerdictPowerCutTorn
+		}
+		return flash.VerdictPowerCut
+	}
+	if op == flash.OpProgram {
+		p.programs++
+		if !p.cut && p.cfg.CutAfterPrograms > 0 && p.programs >= p.cfg.CutAfterPrograms {
+			p.cut = true
+			if p.cfg.TornPageOnCut {
+				return flash.VerdictPowerCutTorn
+			}
+			return flash.VerdictPowerCut
+		}
+	}
+	prob := 0.0
+	switch op {
+	case flash.OpRead:
+		prob = p.cfg.ReadFailProb
+	case flash.OpProgram:
+		prob = p.cfg.ProgramFailProb
+	case flash.OpErase:
+		prob = p.cfg.EraseFailProb
+	}
+	if prob > 0 && p.rng.Float64() < prob {
+		return flash.VerdictFail
+	}
+	return flash.VerdictOK
+}
+
+// Programs returns how many program attempts the plan has observed.
+func (p *Plan) Programs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.programs
+}
+
+// Cut reports whether the plan has delivered its power cut.
+func (p *Plan) Cut() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cut
+}

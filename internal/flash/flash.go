@@ -14,6 +14,7 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,7 +29,50 @@ var (
 	ErrProgramOrder    = errors.New("flash: pages within a block must be programmed sequentially")
 	ErrWornOut         = errors.New("flash: block exceeded erase endurance")
 	ErrInjectedFailure = errors.New("flash: injected failure")
+	ErrPowerCut        = errors.New("flash: power lost")
 )
+
+// Op identifies a flash operation for fault-injection decisions.
+type Op uint8
+
+// Operations an Injector may fail.
+const (
+	OpRead Op = iota
+	OpProgram
+	OpErase
+)
+
+// Verdict is an Injector's decision about one operation.
+type Verdict uint8
+
+// Injection verdicts.
+const (
+	// VerdictOK lets the operation proceed normally.
+	VerdictOK Verdict = iota
+	// VerdictFail makes the operation fail. A failed program still consumes
+	// the page (the cells were stressed; their contents are undefined, which
+	// the simulator models as all-zero data and OOB). A failed read or erase
+	// leaves the medium untouched.
+	VerdictFail
+	// VerdictPowerCut powers the array off before the operation takes
+	// effect; every subsequent operation fails with ErrPowerCut until
+	// PowerOn.
+	VerdictPowerCut
+	// VerdictPowerCutTorn powers the array off in the middle of a program:
+	// the page is consumed with a partial data image and an all-zero OOB —
+	// a torn page that recovery must detect and skip. Non-program
+	// operations treat it as VerdictPowerCut.
+	VerdictPowerCutTorn
+)
+
+// Injector decides the fate of individual flash operations; it is how the
+// fault-injection subsystem (internal/faultinject) hooks into the array.
+// Decide is called with the array's virtual clock so plans can trigger
+// power cuts at a chosen time. Implementations must be safe for concurrent
+// use: chips operate in parallel.
+type Injector interface {
+	Decide(op Op, p PPN, now time.Duration) Verdict
+}
 
 // Config describes the geometry and timing of a flash array. The defaults
 // mirror the paper's board: 16 channels x 4 chips, 8 KB + 256 B pages.
@@ -118,6 +162,15 @@ type Array struct {
 	channels []*sim.Mutex // per-channel bus
 	chips    []*chipState // flat: channel*ChipsPerChannel + chip
 
+	// powered is false after a (simulated) power cut; every operation fails
+	// with ErrPowerCut until PowerOn. The array's contents survive — that is
+	// the whole point of crash-recovery testing.
+	powered atomic.Bool
+
+	// inj, when set, is consulted before every operation.
+	injMu sync.Mutex
+	inj   Injector
+
 	// Stats counters; atomic because woken actors may run in parallel.
 	reads    atomic.Int64
 	programs atomic.Int64
@@ -144,6 +197,7 @@ func New(e *sim.Engine, cfg Config) *Array {
 		panic(err)
 	}
 	a := &Array{cfg: cfg, eng: e}
+	a.powered.Store(true)
 	a.channels = make([]*sim.Mutex, cfg.Channels)
 	for i := range a.channels {
 		a.channels[i] = e.NewMutex(fmt.Sprintf("flash-ch%d", i))
@@ -167,6 +221,40 @@ func New(e *sim.Engine, cfg Config) *Array {
 
 // Config returns the array's configuration.
 func (a *Array) Config() Config { return a.cfg }
+
+// SetInjector installs (or, with nil, removes) a fault injector.
+func (a *Array) SetInjector(inj Injector) {
+	a.injMu.Lock()
+	a.inj = inj
+	a.injMu.Unlock()
+}
+
+// Powered reports whether the array currently has power.
+func (a *Array) Powered() bool { return a.powered.Load() }
+
+// PowerOff simulates an external power cut: every subsequent operation
+// fails with ErrPowerCut. Stored pages survive.
+func (a *Array) PowerOff() { a.powered.Store(false) }
+
+// PowerOn restores power after a cut (the recovery path calls this before
+// scanning the logs).
+func (a *Array) PowerOn() { a.powered.Store(true) }
+
+// decide consults the installed injector, applying power-cut verdicts to
+// the array's power state.
+func (a *Array) decide(op Op, p PPN) Verdict {
+	a.injMu.Lock()
+	inj := a.inj
+	a.injMu.Unlock()
+	if inj == nil {
+		return VerdictOK
+	}
+	v := inj.Decide(op, p, a.eng.Now())
+	if v == VerdictPowerCut || v == VerdictPowerCutTorn {
+		a.powered.Store(false)
+	}
+	return v
+}
 
 // Engine returns the owning simulation engine.
 func (a *Array) Engine() *sim.Engine { return a.eng }
@@ -208,9 +296,21 @@ func (a *Array) locate(p PPN) (*chipState, *blockState, Addr, error) {
 // Timing: chip busy for ReadLatency, then the channel bus is held while the
 // page transfers to the controller.
 func (a *Array) ReadPage(p PPN) (data, oob []byte, err error) {
+	if !a.powered.Load() {
+		return nil, nil, fmt.Errorf("%w: read ppn %d", ErrPowerCut, p)
+	}
 	cs, bs, addr, err := a.locate(p)
 	if err != nil {
 		return nil, nil, err
+	}
+	switch a.decide(OpRead, p) {
+	case VerdictFail:
+		cs.mu.Lock()
+		a.eng.Sleep(a.cfg.ReadLatency) // the failed sensing still took time
+		cs.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: read ppn %d", ErrInjectedFailure, p)
+	case VerdictPowerCut, VerdictPowerCutTorn:
+		return nil, nil, fmt.Errorf("%w: read ppn %d", ErrPowerCut, p)
 	}
 	cs.mu.Lock()
 	if bs.data[addr.Page] == nil {
@@ -235,6 +335,9 @@ func (a *Array) ProgramPage(p PPN, data, oob []byte) error {
 		return fmt.Errorf("flash: program size %d+%d exceeds page %d+%d",
 			len(data), len(oob), a.cfg.PageSize, a.cfg.OOBSize)
 	}
+	if !a.powered.Load() {
+		return fmt.Errorf("%w: program ppn %d", ErrPowerCut, p)
+	}
 	cs, bs, addr, err := a.locate(p)
 	if err != nil {
 		return err
@@ -252,6 +355,28 @@ func (a *Array) ProgramPage(p PPN, data, oob []byte) error {
 		return fmt.Errorf("%w: block %d expects page %d, got %d",
 			ErrProgramOrder, addr.Block, bs.nextPage, addr.Page)
 	}
+	switch a.decide(OpProgram, p) {
+	case VerdictFail:
+		// A program failure still stresses the cells: the page is consumed
+		// with undefined (all-zero) contents and the caller must rewrite the
+		// payload elsewhere.
+		a.eng.Sleep(a.cfg.ProgramLatency)
+		bs.data[addr.Page] = make([]byte, a.cfg.PageSize)
+		bs.oob[addr.Page] = make([]byte, a.cfg.OOBSize)
+		bs.nextPage++
+		return fmt.Errorf("%w: program ppn %d", ErrInjectedFailure, p)
+	case VerdictPowerCut:
+		// Power died before the cells committed; the page stays unwritten.
+		return fmt.Errorf("%w: program ppn %d", ErrPowerCut, p)
+	case VerdictPowerCutTorn:
+		// Power died mid-program: a torn page — partial data, no OOB.
+		stored := make([]byte, a.cfg.PageSize)
+		copy(stored, data[:len(data)/2])
+		bs.data[addr.Page] = stored
+		bs.oob[addr.Page] = make([]byte, a.cfg.OOBSize)
+		bs.nextPage++
+		return fmt.Errorf("%w: torn program ppn %d", ErrPowerCut, p)
+	}
 	a.eng.Sleep(a.cfg.ProgramLatency)
 	stored := make([]byte, a.cfg.PageSize)
 	copy(stored, data)
@@ -267,9 +392,21 @@ func (a *Array) ProgramPage(p PPN, data, oob []byte) error {
 // EraseBlock erases the block containing PPN p (its page component is
 // ignored). Timing: chip busy for EraseLatency.
 func (a *Array) EraseBlock(p PPN) error {
+	if !a.powered.Load() {
+		return fmt.Errorf("%w: erase ppn %d", ErrPowerCut, p)
+	}
 	cs, bs, addr, err := a.locate(p)
 	if err != nil {
 		return err
+	}
+	switch a.decide(OpErase, p) {
+	case VerdictFail:
+		cs.mu.Lock()
+		a.eng.Sleep(a.cfg.EraseLatency)
+		cs.mu.Unlock()
+		return fmt.Errorf("%w: erase of chip %d/%d block %d", ErrInjectedFailure, addr.Channel, addr.Chip, addr.Block)
+	case VerdictPowerCut, VerdictPowerCutTorn:
+		return fmt.Errorf("%w: erase ppn %d", ErrPowerCut, p)
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()

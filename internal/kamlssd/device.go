@@ -36,6 +36,9 @@ var (
 	ErrBadBatch      = errors.New("kamlssd: malformed Put batch")
 	ErrIndexFull     = errors.New("kamlssd: namespace mapping table full")
 	ErrSwappedOut    = errors.New("kamlssd: namespace index swapped out")
+	// ErrPowerLoss reports an operation interrupted by a power cut. A Put
+	// that returns it was NOT acknowledged: recovery discards the batch.
+	ErrPowerLoss = errors.New("kamlssd: power lost")
 )
 
 // Config tunes the KAML firmware.
@@ -84,12 +87,13 @@ type Device struct {
 	mu *sim.Mutex // guards all firmware metadata (namespaces, logs, nvram)
 
 	namespaces map[uint32]*namespace
-	nextNSID   uint32
 
 	logs []*logState
 
-	nvram  map[uint64][]byte // logically-committed values not yet index-installed
-	nvSeq  uint64
+	// nv is the battery-backed region: staged values, batch commit
+	// markers, the namespace catalog, and the bad-block table. It is the
+	// only firmware state that survives a power cut (see recover.go).
+	nv     *NVRAM
 	keyLks *keyLockTable
 
 	closed       bool
@@ -109,6 +113,17 @@ type Stats struct {
 	IndexProbes            int64
 	BytesWritten           int64 // host payload bytes accepted
 	FlashBytesWritten      int64 // pages programmed x page size (write amp)
+
+	// Fault handling.
+	ProgramRetries int64 // failed programs rewritten to a fresh page
+	ReadRetries    int64 // injected read errors retried by Get
+	BlocksRetired  int64 // blocks taken out of service
+
+	// Recovery (populated by Recover on the post-crash device).
+	RecoveredRecords   int64 // index entries rebuilt from the flash scan
+	ReplayedValues     int64 // NVRAM values re-staged for flushing
+	DroppedUncommitted int64 // staged values of never-committed batches
+	TornPagesSkipped   int64 // pages failing OOB magic/CRC during the scan
 }
 
 // namespace is one key-value namespace.
@@ -125,6 +140,11 @@ type namespace struct {
 	// (non-zero only for snapshots); readonly marks snapshots.
 	origin   uint32
 	readonly bool
+	// cutoff bounds the sequences this namespace observes: noCutoff for
+	// writable namespaces, the origin's sequence at snapshot time for
+	// snapshots. Recovery uses it to rebuild a snapshot's point-in-time
+	// view from the raw flash scan (newest record with seq <= cutoff).
+	cutoff uint64
 }
 
 // New builds a KAML device on the array and transport and starts its
@@ -138,6 +158,9 @@ func New(arr *flash.Array, ctrl *nvme.Controller, cfg Config) *Device {
 	if cfg.ChunkSize <= 0 || fc.PageSize%cfg.ChunkSize != 0 || fc.PageSize/cfg.ChunkSize > 64 {
 		panic("kamlssd: bad chunk size")
 	}
+	if fc.OOBSize < oobLen {
+		panic(fmt.Sprintf("kamlssd: OOB size %d < %d required for recovery metadata", fc.OOBSize, oobLen))
+	}
 	d := &Device{
 		cfg:        cfg,
 		fc:         fc,
@@ -145,8 +168,7 @@ func New(arr *flash.Array, ctrl *nvme.Controller, cfg Config) *Device {
 		ctrl:       ctrl,
 		eng:        arr.Engine(),
 		namespaces: make(map[uint32]*namespace),
-		nextNSID:   1,
-		nvram:      make(map[uint64][]byte),
+		nv:         NewNVRAM(),
 	}
 	d.mu = d.eng.NewMutex("kaml")
 	d.keyLks = newKeyLockTable(d.eng, d.mu)
@@ -190,11 +212,54 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 // Config returns the firmware configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// NVRAM returns the device's battery-backed region. The caller keeps the
+// pointer across a power cut and hands it to Recover — that is the crash
+// model: NVRAM survives, everything else is rebuilt.
+func (d *Device) NVRAM() *NVRAM { return d.nv }
+
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// PowerFail cuts power: the flash array stops accepting operations, the
+// device is marked crashed, and background actors exit without draining.
+// Unlike Close, nothing is flushed — recovery must rebuild from flash and
+// NVRAM alone. Call from a simulation actor; AwaitHalt blocks until the
+// background actors have exited.
+func (d *Device) PowerFail() {
+	d.arr.PowerOff()
+	d.mu.Lock()
+	d.noticePowerLossLocked()
+	d.mu.Unlock()
+}
+
+// AwaitHalt blocks until the device's background actors have exited.
+func (d *Device) AwaitHalt() { d.stopped.Wait() }
+
+// noticePowerLossLocked marks the device crashed after an actor observed
+// the array powered off, and wakes every actor blocked on queue space so
+// it can exit. Called with d.mu held; idempotent.
+func (d *Device) noticePowerLossLocked() {
+	if d.crashed {
+		return
+	}
+	d.crashed = true
+	d.closed = true
+	for _, lg := range d.logs {
+		lg.spaceCv.Broadcast()
+	}
+}
+
+// closedErrLocked returns the right error for an operation arriving after
+// the device stopped. Called with d.mu held.
+func (d *Device) closedErrLocked() error {
+	if d.crashed {
+		return ErrPowerLoss
+	}
+	return ErrClosed
 }
 
 // Close drains the logs and stops the background actors.
@@ -226,12 +291,12 @@ func (d *Device) CreateNamespace(attrs NamespaceAttrs) (uint32, error) {
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		if d.closed {
-			err = ErrClosed
+			err = d.closedErrLocked()
 			return
 		}
-		id = d.nextNSID
-		d.nextNSID++
-		ns := &namespace{id: id, index: newIndex(attrs.Index, capacity, d.cfg.AutoGrowIndex)}
+		id = d.nv.nextNSID
+		d.nv.nextNSID++
+		ns := &namespace{id: id, index: newIndex(attrs.Index, capacity, d.cfg.AutoGrowIndex), cutoff: noCutoff}
 		nLogs := attrs.NumLogs
 		if nLogs <= 0 || nLogs > len(d.logs) {
 			nLogs = len(d.logs) // by default all logs serve every namespace
@@ -240,6 +305,10 @@ func (d *Device) CreateNamespace(attrs NamespaceAttrs) (uint32, error) {
 			ns.logIDs = append(ns.logIDs, i)
 		}
 		d.namespaces[id] = ns
+		d.nv.putNS(nsMeta{
+			id: id, kind: attrs.Index, capacity: capacity,
+			numLogs: nLogs, cutoff: noCutoff,
+		})
 	})
 	return id, err
 }
@@ -268,6 +337,7 @@ func (d *Device) DeleteNamespace(id uint32) error {
 			})
 		}
 		delete(d.namespaces, id)
+		d.nv.deleteNS(id)
 	})
 	return err
 }
@@ -292,6 +362,9 @@ func (d *Device) SetNamespaceLogs(id uint32, n int) error {
 		ns.logIDs = append(ns.logIDs, i)
 	}
 	ns.rr = 0
+	if m := d.nv.catalog[id]; m != nil {
+		m.numLogs = n
+	}
 	return nil
 }
 

@@ -115,11 +115,37 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 
 	for page := 0; page < d.fc.PagesPerBlock; page++ {
 		ppn := d.arr.BlockPPN(ch, chip, block, page)
-		data, oob, err := d.arr.ReadPage(ppn)
-		if err != nil {
-			continue
+		var data, oob []byte
+		var err error
+		for tries := 0; ; tries++ {
+			data, oob, err = d.arr.ReadPage(ppn)
+			if err == nil || !errors.Is(err, flash.ErrInjectedFailure) || tries >= maxReadRetries {
+				break
+			}
+			d.mu.Lock()
+			d.stats.ReadRetries++
+			d.mu.Unlock()
 		}
-		if oob[8] == pageTypeIndex {
+		if err != nil {
+			if errors.Is(err, flash.ErrPowerCut) {
+				d.mu.Lock()
+				d.noticePowerLossLocked()
+				d.mu.Unlock()
+				return
+			}
+			if errors.Is(err, flash.ErrInjectedFailure) {
+				// Persistent read error: erasing now could destroy live
+				// records this scan never saw. Abandon the victim; a later
+				// GC pass retries it.
+				return
+			}
+			continue // unwritten page
+		}
+		ptype, ok := checkOOB(oob, data)
+		if !ok {
+			continue // torn or garbage page: carries nothing live
+		}
+		if ptype == pageTypeIndex {
 			d.mu.Lock()
 			if d.indexPageLive(ppn) {
 				liveIndexPages = append(liveIndexPages, ppn)
@@ -156,13 +182,25 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 			lg.id, needPages, capacity))
 	}
 
-	d.relocateRecords(lg, live)
-	d.relocateIndexPages(lg, liveIndexPages)
+	if d.relocateRecords(lg, live) != nil || d.relocateIndexPages(lg, liveIndexPages) != nil {
+		return // power cut mid-relocation: the victim must not be erased
+	}
 
-	if err := d.arr.EraseBlock(d.arr.BlockPPN(ch, chip, block, 0)); err != nil {
+	first := d.arr.BlockPPN(ch, chip, block, 0)
+	if err := d.arr.EraseBlock(first); err != nil {
+		if errors.Is(err, flash.ErrPowerCut) {
+			d.mu.Lock()
+			d.noticePowerLossLocked()
+			d.mu.Unlock()
+			return
+		}
+		// Erase failure: take the block out of service permanently. The
+		// retirement is recorded in NVRAM so recovery never reuses it.
 		d.mu.Lock()
 		lg.chips[chipIdx].blocks[block].retired = true
 		lg.chips[chipIdx].blocks[block].sealed = false
+		d.nv.retireBlock(first)
+		d.stats.BlocksRetired++
 		d.stats.GCErases++
 		d.mu.Unlock()
 		return
@@ -171,9 +209,19 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 	bm := &lg.chips[chipIdx].blocks[block]
 	bm.sealed = false
 	bm.validBytes = 0
-	lg.chips[chipIdx].free = append(lg.chips[chipIdx].free, block)
-	lg.freeBlocks++
 	d.stats.GCErases++
+	if bm.progFailed > 0 {
+		// The block ate at least one program during its last life; retire
+		// it rather than risk further failures (conservative bad-block
+		// policy — the erase itself succeeded).
+		bm.retired = true
+		bm.progFailed = 0
+		d.nv.retireBlock(first)
+		d.stats.BlocksRetired++
+	} else {
+		lg.chips[chipIdx].free = append(lg.chips[chipIdx].free, block)
+		lg.freeBlocks++
+	}
 	d.mu.Unlock()
 }
 
@@ -225,28 +273,54 @@ func (d *Device) recordLive(rec record.Record, loc location) bool {
 	return false
 }
 
-// relocateRecords packs live records into fresh pages on the log's GC
-// stream and swings index entries, re-validating each record at install
-// time (it may have been superseded while GC was running).
-func (d *Device) relocateRecords(lg *logState, live []gcRecord) {
-	packer := record.NewPacker(d.fc.PageSize, d.cfg.ChunkSize)
-	var group []gcRecord
-	flush := func() {
-		if packer.Empty() {
-			return
-		}
-		data, oob := packer.Finish()
-		full := make([]byte, 9)
-		copy(full, oob)
-		full[8] = pageTypeRecord
+// gcProgram programs one GC-stream page, rewriting on injected program
+// failures (each failed page is consumed and its block marked for
+// retirement). Returns the PPN that finally holds the data, or an error on
+// power cut — the caller must then abandon the collection without erasing.
+func (d *Device) gcProgram(lg *logState, data, oob []byte) (flash.PPN, error) {
+	for {
 		d.mu.Lock()
 		ppn, err := lg.nextPPN(true)
 		d.mu.Unlock()
 		if err != nil {
 			panic(fmt.Sprintf("kamlssd: GC of log %d cannot allocate: %v", lg.id, err))
 		}
-		if perr := d.arr.ProgramPage(ppn, data, full); perr != nil {
+		perr := d.arr.ProgramPage(ppn, data, oob)
+		if perr == nil {
+			return ppn, nil
+		}
+		if errors.Is(perr, flash.ErrPowerCut) {
+			d.mu.Lock()
+			d.noticePowerLossLocked()
+			d.mu.Unlock()
+			return 0, perr
+		}
+		if !errors.Is(perr, flash.ErrInjectedFailure) {
 			panic(fmt.Sprintf("kamlssd: GC program: %v", perr))
+		}
+		d.mu.Lock()
+		d.stats.ProgramRetries++
+		if _, lc, b := d.blockOf(ppn); lc != nil {
+			lc.blocks[b].progFailed++
+		}
+		d.mu.Unlock()
+	}
+}
+
+// relocateRecords packs live records into fresh pages on the log's GC
+// stream and swings index entries, re-validating each record at install
+// time (it may have been superseded while GC was running).
+func (d *Device) relocateRecords(lg *logState, live []gcRecord) error {
+	packer := record.NewPacker(d.fc.PageSize, d.cfg.ChunkSize)
+	var group []gcRecord
+	flush := func() error {
+		if packer.Empty() {
+			return nil
+		}
+		data, bitmap := packer.Finish()
+		ppn, perr := d.gcProgram(lg, data, d.buildOOB(bitmap, pageTypeRecord, data))
+		if perr != nil {
+			return perr
 		}
 		d.mu.Lock()
 		d.stats.Programs++
@@ -273,33 +347,35 @@ func (d *Device) relocateRecords(lg *logState, live []gcRecord) {
 		}
 		d.mu.Unlock()
 		group = nil
+		return nil
 	}
 	for _, g := range live {
 		if !packer.Fits(g.rec.EncodedSize()) {
-			flush()
+			if err := flush(); err != nil {
+				return err
+			}
 		}
 		g.newChunk = packer.Add(g.rec)
 		group = append(group, g)
 	}
-	flush()
+	return flush()
 }
 
 // relocateIndexPages rewrites live swapped-index pages and updates the
-// owning namespace's page list.
-func (d *Device) relocateIndexPages(lg *logState, pages []flash.PPN) {
+// owning namespace's page list. The old OOB (bitmap, type, magic, CRC) is
+// carried over verbatim — the data is byte-identical, so it stays valid.
+func (d *Device) relocateIndexPages(lg *logState, pages []flash.PPN) error {
 	for _, old := range pages {
 		data, oob, err := d.arr.ReadPage(old)
 		if err != nil {
+			if errors.Is(err, flash.ErrPowerCut) {
+				return err
+			}
 			continue
 		}
-		d.mu.Lock()
-		ppn, aerr := lg.nextPPN(true)
-		d.mu.Unlock()
-		if aerr != nil {
-			panic(fmt.Sprintf("kamlssd: GC index relocation: %v", aerr))
-		}
-		if perr := d.arr.ProgramPage(ppn, data, oob[:9]); perr != nil {
-			panic(fmt.Sprintf("kamlssd: GC index program: %v", perr))
+		ppn, perr := d.gcProgram(lg, data, oob[:oobLen])
+		if perr != nil {
+			return perr
 		}
 		d.mu.Lock()
 		d.stats.Programs++
@@ -312,6 +388,7 @@ func (d *Device) relocateIndexPages(lg *logState, pages []flash.PPN) {
 		}
 		d.mu.Unlock()
 	}
+	return nil
 }
 
 // indexPageLive reports whether a swapped-index page is still referenced.

@@ -1,6 +1,7 @@
 package kamlssd
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -44,6 +45,7 @@ type blockMeta struct {
 	sealed     bool
 	retired    bool
 	validBytes int64
+	progFailed int // program failures observed in this block's current life
 }
 
 type appendPoint struct {
@@ -160,10 +162,16 @@ func (lg *logState) sealPacker() {
 		}
 		lg.spaceCv.Wait()
 	}
+	if lg.d.crashed {
+		// Power cut while waiting for queue space: leave the packer alone;
+		// its records survive in NVRAM and recovery replays them.
+		return
+	}
 	// Capture the page image and its pending descriptors atomically: the
 	// free-block wait below releases the device mutex, and records added to
 	// the fresh packer meanwhile must not leak into this sealed page.
-	data, oob := lg.packer.Finish()
+	data, bitmap := lg.packer.Finish()
+	oob := lg.d.buildOOB(bitmap, pageTypeRecord, data)
 	pend := lg.pending
 	lg.pending = nil
 	ppn, err := lg.nextPPN(false)
@@ -173,6 +181,9 @@ func (lg *logState) sealPacker() {
 		lg.d.mu.Unlock()
 		lg.d.eng.Sleep(lg.d.cfg.GCPoll)
 		lg.d.mu.Lock()
+		if lg.d.crashed {
+			return // records stay in NVRAM for recovery
+		}
 		ppn, err = lg.nextPPN(false)
 	}
 	lg.sealedQueue = append(lg.sealedQueue, sealedPage{
@@ -219,10 +230,50 @@ func (d *Device) flusherLoop(lg *logState) {
 		lg.inflight = &sp
 		d.mu.Unlock()
 
-		if err := d.arr.ProgramPage(sp.ppn, sp.data, sp.oob); err != nil && !isPageWritten(err) {
+		err := d.arr.ProgramPage(sp.ppn, sp.data, sp.oob)
+		if err != nil && !isPageWritten(err) {
 			// isPageWritten means a pre-crash program completed before the
 			// sealed page was replayed from NVRAM; the content matches.
-			panic(fmt.Sprintf("kamlssd: log %d program %d: %v", lg.id, sp.ppn, err))
+			if errors.Is(err, flash.ErrPowerCut) {
+				// Power died mid-program. The records are safe in NVRAM;
+				// recovery replays them. Exit without installing anything.
+				d.mu.Lock()
+				d.noticePowerLossLocked()
+				d.mu.Unlock()
+				return
+			}
+			if !errors.Is(err, flash.ErrInjectedFailure) {
+				panic(fmt.Sprintf("kamlssd: log %d program %d: %v", lg.id, sp.ppn, err))
+			}
+			// Program failure: the page is consumed with garbage. Rewrite
+			// the payload at the log's next free page and remember the
+			// failure so GC retires the block once it drains (bad-block
+			// handling). The page cannot be retried in place — later queue
+			// entries already own the intervening page numbers and blocks
+			// program strictly in order — so it re-enters the back of the
+			// queue with a freshly allocated page. No data is lost: the
+			// values are still in NVRAM and the index still points there.
+			d.mu.Lock()
+			d.stats.ProgramRetries++
+			if _, lc, b := d.blockOf(sp.ppn); lc != nil {
+				lc.blocks[b].progFailed++
+			}
+			ppn, aerr := lg.nextPPN(false)
+			for aerr != nil {
+				d.mu.Unlock()
+				d.eng.Sleep(d.cfg.GCPoll)
+				d.mu.Lock()
+				if d.crashed {
+					d.mu.Unlock()
+					return
+				}
+				ppn, aerr = lg.nextPPN(false)
+			}
+			sp.ppn = ppn
+			lg.sealedQueue = append(lg.sealedQueue, sp)
+			lg.inflight = nil
+			d.mu.Unlock()
+			continue
 		}
 
 		d.mu.Lock()
@@ -243,7 +294,10 @@ func (d *Device) flusherLoop(lg *logState) {
 // record sat in NVRAM cloned the NVRAM location, so every family member's
 // entry is swung. Called with d.mu held.
 func (d *Device) installFlashLoc(pr pendingRec, ppn flash.PPN) {
-	defer delete(d.nvram, pr.seq)
+	// Release the NVRAM copy — unless its batch has not committed yet, in
+	// which case the entry stays as an uncommitted marker so recovery knows
+	// this flash record belongs to an unfinished batch.
+	defer d.nv.installed(pr.seq)
 	nchunks := (pr.size + d.cfg.ChunkSize - 1) / d.cfg.ChunkSize
 	loc := flashLoc(ppn, pr.chunk, nchunks)
 	credited := false

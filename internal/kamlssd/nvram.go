@@ -1,0 +1,269 @@
+package kamlssd
+
+import (
+	"sort"
+
+	"github.com/kaml-ssd/kaml/internal/flash"
+)
+
+// NVRAM models the device's battery-backed memory region (paper §III-C,
+// §IV-D: "the staging buffers are non-volatile"). Everything in it survives
+// a power cut; everything outside it (the per-namespace mapping tables, the
+// log allocator, the sealed-page queues) is plain DRAM and is rebuilt by
+// Recover from a flash scan plus this structure.
+//
+// It holds four things:
+//
+//   - staged values: every Put value lives here from the moment it is
+//     staged until its flash copy is installed in the index;
+//   - batch commit markers: a Put batch is COMMITTED exactly when its
+//     marker is written, which happens after every record is staged and
+//     before the host is acknowledged. Recovery replays committed batches
+//     and discards uncommitted ones — that single rule is what makes
+//     multi-record Put atomic across any cut point;
+//   - the namespace catalog: which namespaces exist, their index shape,
+//     and (for snapshots) the sequence cutoff that defines their view;
+//   - the bad-block table: blocks retired after program/erase failures.
+//
+// All access happens under the owning Device's mutex; NVRAM has no lock of
+// its own. The commit marker is modeled as a single atomic NVRAM write
+// (an 8-byte flag), the standard assumption for battery-backed commit
+// records.
+type NVRAM struct {
+	nextNSID  uint32
+	nvSeq     uint64
+	nextBatch uint64
+
+	values  map[uint64]*nvEntry // staged values by sequence
+	batches map[uint64]*nvBatch
+	// aborted remembers sequences whose records must be ignored if ever
+	// seen on flash: rolled-back batches and values dropped as uncommitted
+	// during recovery. Entries are rare (index-full rollbacks and cut
+	// mid-Put) and tiny, so they are kept for the device's lifetime.
+	aborted map[uint64]struct{}
+
+	catalog   map[uint32]*nsMeta
+	badBlocks map[flash.PPN]struct{} // first-page PPN of retired blocks
+}
+
+// nvEntry is one staged value.
+type nvEntry struct {
+	ns        uint32
+	key       uint64
+	val       []byte
+	batch     uint64
+	installed bool // flash copy installed before the batch committed
+}
+
+// nvBatch tracks one Put batch's commit state.
+type nvBatch struct {
+	committed bool
+	seqs      []uint64
+	remaining int // staged values not yet durable on flash
+}
+
+// nsMeta is the catalog entry for one namespace.
+type nsMeta struct {
+	id       uint32
+	kind     IndexKind
+	capacity int
+	numLogs  int
+	origin   uint32
+	readonly bool
+	cutoff   uint64 // noCutoff for writable namespaces
+}
+
+// noCutoff marks a namespace that sees every sequence (i.e., not a
+// point-in-time snapshot).
+const noCutoff = ^uint64(0)
+
+// NewNVRAM returns an empty battery-backed region for a fresh device.
+func NewNVRAM() *NVRAM {
+	return &NVRAM{
+		nextNSID:  1,
+		values:    make(map[uint64]*nvEntry),
+		batches:   make(map[uint64]*nvBatch),
+		aborted:   make(map[uint64]struct{}),
+		catalog:   make(map[uint32]*nsMeta),
+		badBlocks: make(map[flash.PPN]struct{}),
+	}
+}
+
+// beginBatch opens a new uncommitted batch and returns its ID.
+func (nv *NVRAM) beginBatch() uint64 {
+	nv.nextBatch++
+	nv.batches[nv.nextBatch] = &nvBatch{}
+	return nv.nextBatch
+}
+
+// stage allocates the next sequence number and stores the value.
+func (nv *NVRAM) stage(ns uint32, key uint64, val []byte, batch uint64) uint64 {
+	nv.nvSeq++
+	seq := nv.nvSeq
+	nv.values[seq] = &nvEntry{ns: ns, key: key, val: append([]byte(nil), val...), batch: batch}
+	b := nv.batches[batch]
+	b.seqs = append(b.seqs, seq)
+	b.remaining++
+	return seq
+}
+
+// commitBatch is the batch's commit point. Values whose flash copies were
+// installed while the batch was still open become fully durable now.
+func (nv *NVRAM) commitBatch(batch uint64) {
+	b := nv.batches[batch]
+	if b == nil {
+		return
+	}
+	b.committed = true
+	for _, seq := range b.seqs {
+		if e := nv.values[seq]; e != nil && e.installed {
+			delete(nv.values, seq)
+			b.remaining--
+		}
+	}
+	if b.remaining == 0 {
+		delete(nv.batches, batch)
+	}
+}
+
+// abortBatch rolls back an uncommitted batch: its values are dropped and
+// their sequences remembered as aborted so copies that already reached
+// flash are never resurrected by recovery.
+func (nv *NVRAM) abortBatch(batch uint64) {
+	b := nv.batches[batch]
+	if b == nil {
+		return
+	}
+	for _, seq := range b.seqs {
+		delete(nv.values, seq)
+		nv.aborted[seq] = struct{}{}
+	}
+	delete(nv.batches, batch)
+}
+
+// installed records that seq's flash copy is now pointed at by the index.
+// Committed values are released; uncommitted ones are kept as markers so
+// recovery knows their flash copies belong to an unfinished batch.
+func (nv *NVRAM) installed(seq uint64) {
+	e := nv.values[seq]
+	if e == nil {
+		return
+	}
+	b := nv.batches[e.batch]
+	if b != nil && !b.committed {
+		e.installed = true
+		return
+	}
+	delete(nv.values, seq)
+	if b != nil {
+		b.remaining--
+		if b.remaining == 0 {
+			delete(nv.batches, e.batch)
+		}
+	}
+}
+
+// value returns the staged bytes for seq.
+func (nv *NVRAM) value(seq uint64) ([]byte, bool) {
+	e, ok := nv.values[seq]
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// unflushed counts staged values whose flash copy is not yet installed —
+// the work Flush waits for.
+func (nv *NVRAM) unflushed() int {
+	n := 0
+	for _, e := range nv.values {
+		if !e.installed {
+			n++
+		}
+	}
+	return n
+}
+
+// isAborted reports whether a sequence belongs to a rolled-back batch.
+func (nv *NVRAM) isAborted(seq uint64) bool {
+	_, ok := nv.aborted[seq]
+	return ok
+}
+
+// dropUncommitted discards every value belonging to a batch that never
+// committed (recovery's first step: a cut mid-Put means the host was never
+// acknowledged, so the batch must vanish atomically). Returns how many
+// values were dropped.
+func (nv *NVRAM) dropUncommitted() int {
+	dropped := 0
+	for id, b := range nv.batches {
+		if b.committed {
+			continue
+		}
+		for _, seq := range b.seqs {
+			if _, ok := nv.values[seq]; ok {
+				delete(nv.values, seq)
+				dropped++
+			}
+			nv.aborted[seq] = struct{}{}
+		}
+		delete(nv.batches, id)
+	}
+	return dropped
+}
+
+// finish releases a staged value that recovery found to be already durable
+// (its sequence, or a newer one, is on flash for every interested
+// namespace).
+func (nv *NVRAM) finish(seq uint64) {
+	e := nv.values[seq]
+	if e == nil {
+		return
+	}
+	delete(nv.values, seq)
+	if b := nv.batches[e.batch]; b != nil {
+		b.remaining--
+		if b.remaining == 0 {
+			delete(nv.batches, e.batch)
+		}
+	}
+}
+
+// pendingSeqs returns the staged sequence numbers in ascending order.
+func (nv *NVRAM) pendingSeqs() []uint64 {
+	out := make([]uint64, 0, len(nv.values))
+	for seq := range nv.values {
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// putNS records (or updates) a namespace catalog entry.
+func (nv *NVRAM) putNS(m nsMeta) {
+	cp := m
+	nv.catalog[m.id] = &cp
+}
+
+// deleteNS removes a namespace from the catalog.
+func (nv *NVRAM) deleteNS(id uint32) { delete(nv.catalog, id) }
+
+// sortedCatalog returns catalog entries ordered by namespace ID so
+// recovery is deterministic.
+func (nv *NVRAM) sortedCatalog() []*nsMeta {
+	out := make([]*nsMeta, 0, len(nv.catalog))
+	for _, m := range nv.catalog {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// retireBlock records a bad block (identified by its first page's PPN).
+func (nv *NVRAM) retireBlock(first flash.PPN) { nv.badBlocks[first] = struct{}{} }
+
+// isRetired reports whether the block starting at first is retired.
+func (nv *NVRAM) isRetired(first flash.PPN) bool {
+	_, ok := nv.badBlocks[first]
+	return ok
+}

@@ -6,9 +6,14 @@ import (
 	"sort"
 	"time"
 
+	"github.com/kaml-ssd/kaml/internal/flash"
 	"github.com/kaml-ssd/kaml/internal/hashindex"
 	"github.com/kaml-ssd/kaml/internal/record"
 )
+
+// maxReadRetries bounds how many times Get re-issues a page read that
+// failed with an injected (transient) medium error before giving up.
+const maxReadRetries = 4
 
 // undoEntry remembers a key's pre-batch index state for atomic rollback.
 type undoEntry struct {
@@ -34,8 +39,8 @@ func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 	d.ctrl.Submit(func() {
 		d.mu.Lock()
 		if d.closed {
+			err = d.closedErrLocked()
 			d.mu.Unlock()
-			err = ErrClosed
 			return
 		}
 		ns, ok := d.namespaces[nsID]
@@ -63,7 +68,7 @@ func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 		loc := location(val)
 		if !loc.isFlash() {
 			// Logically committed but still in NVRAM; serve from the buffer.
-			if v, ok := d.nvram[loc.seq()]; ok {
+			if v, ok := d.nv.value(loc.seq()); ok {
 				out = append([]byte(nil), v...)
 				d.stats.NVRAMHits++
 				d.mu.Unlock()
@@ -88,6 +93,7 @@ func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 		// mid-read. Re-validate the index afterwards and retry on movement —
 		// the firmware equivalent of the baseline's LBA-range locks, without
 		// their per-command cost (§V-B).
+		readRetries := 0
 		for attempt := 0; ; attempt++ {
 			data, _, rerr := d.arr.ReadPage(loc.ppn())
 			moved := false
@@ -101,7 +107,7 @@ func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 				if moved && !loc.isFlash() {
 					// Moved back into NVRAM by a concurrent update.
 					d.mu.Lock()
-					if v, ok := d.nvram[loc.seq()]; ok {
+					if v, ok := d.nv.value(loc.seq()); ok {
 						out = append([]byte(nil), v...)
 						d.mu.Unlock()
 						return
@@ -119,7 +125,24 @@ func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 					continue
 				}
 			} else {
-				// The block was erased under us; re-resolve and retry.
+				// Either the block was erased under us (GC), power was cut,
+				// or the medium returned a transient read error (fault
+				// injection). A transient error retries the same location a
+				// few times; a relocation re-resolves through the index.
+				if errors.Is(rerr, flash.ErrPowerCut) {
+					d.mu.Lock()
+					d.noticePowerLossLocked()
+					d.mu.Unlock()
+					err = ErrPowerLoss
+					return
+				}
+				if errors.Is(rerr, flash.ErrInjectedFailure) && readRetries < maxReadRetries {
+					readRetries++
+					d.mu.Lock()
+					d.stats.ReadRetries++
+					d.mu.Unlock()
+					continue
+				}
 				d.mu.Lock()
 				cur, _, gerr2 := ns.index.Get(key)
 				d.mu.Unlock()
@@ -134,7 +157,7 @@ func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 				loc = location(cur)
 				if !loc.isFlash() {
 					d.mu.Lock()
-					if v, ok := d.nvram[loc.seq()]; ok {
+					if v, ok := d.nv.value(loc.seq()); ok {
 						out = append([]byte(nil), v...)
 						d.mu.Unlock()
 						return
@@ -199,8 +222,8 @@ func (d *Device) Put(batch []PutRecord) error {
 
 		d.mu.Lock()
 		if d.closed {
+			err = d.closedErrLocked()
 			d.mu.Unlock()
-			err = ErrClosed
 			return
 		}
 		// Validate namespaces before taking locks.
@@ -226,16 +249,37 @@ func (d *Device) Put(batch []PutRecord) error {
 		}
 		d.keyLks.lockAll(keys)
 
-		// Phase 1b: stage every record in NVRAM, point the index at the
-		// NVRAM copies, and route the records to logs. After this loop the
-		// batch is logically committed. Old index values are remembered so
-		// a mid-batch failure (mapping table full) rolls back atomically.
+		// Phase 1b: stage every record in NVRAM under an open batch, point
+		// the index at the NVRAM copies, and route the records to logs.
+		// The batch is logically committed only when its NVRAM commit
+		// marker is written after the loop — a power cut at ANY earlier
+		// point leaves the batch uncommitted and recovery discards it
+		// whole, which is what makes multi-record Put atomic. Old index
+		// values are remembered so a mid-batch failure (mapping table
+		// full, power cut) rolls back atomically.
+		batchID := d.nv.beginBatch()
 		totalProbes := 0
 		newKeys := 0
 		undo := make([]undoEntry, 0, len(batch))
+		abort := func(aerr error) {
+			d.rollbackStaged(batch, undo)
+			d.nv.abortBatch(batchID)
+			d.keyLks.unlockAll(keys)
+			d.mu.Unlock()
+			err = aerr
+		}
 		for _, r := range batch {
+			// sealPacker below may release d.mu while blocked on queue
+			// space; a power cut can land in that window. Acknowledging
+			// this batch after the cut would break crash consistency, so
+			// re-check before every record and again before the commit
+			// marker.
+			if d.crashed || !d.arr.Powered() {
+				d.noticePowerLossLocked()
+				abort(ErrPowerLoss)
+				return
+			}
 			ns := d.namespaces[r.Namespace]
-			rec := record.Record{Namespace: r.Namespace, Key: r.Key, Value: r.Value}
 
 			// Supersede bookkeeping for the previous version, if any.
 			old, probes, gerr := ns.index.Get(r.Key)
@@ -246,17 +290,15 @@ func (d *Device) Put(batch []PutRecord) error {
 				d.discountValid(location(old))
 			}
 
-			d.nvSeq++
-			seq := d.nvSeq
-			d.nvram[seq] = append([]byte(nil), r.Value...)
+			seq := d.nv.stage(r.Namespace, r.Key, r.Value, batchID)
+			rec := record.Record{Namespace: r.Namespace, Key: r.Key, Seq: seq, Value: r.Value}
 			if _, _, perr := ns.index.Put(r.Key, uint64(nvramLoc(seq))); perr != nil {
 				// Mapping table full: atomicity demands all-or-nothing, so
 				// restore every already-staged entry to its previous value.
-				delete(d.nvram, seq)
-				d.rollbackStaged(batch, undo)
-				d.keyLks.unlockAll(keys)
-				d.mu.Unlock()
-				err = fmt.Errorf("%w: ns %d", ErrIndexFull, r.Namespace)
+				if gerr == nil && location(old).isFlash() {
+					d.creditValid(location(old)) // undo this record's discount
+				}
+				abort(fmt.Errorf("%w: ns %d", ErrIndexFull, r.Namespace))
 				return
 			}
 			undo = append(undo, undoEntry{existed: gerr == nil, oldVal: old, seq: seq})
@@ -279,6 +321,14 @@ func (d *Device) Put(batch []PutRecord) error {
 			}
 			d.stats.BytesWritten += int64(len(r.Value))
 		}
+		if d.crashed || !d.arr.Powered() {
+			d.noticePowerLossLocked()
+			abort(ErrPowerLoss)
+			return
+		}
+		// Commit point: one atomic NVRAM write. From here the batch
+		// survives any crash; the host is acknowledged after this.
+		d.nv.commitBatch(batchID)
 		d.stats.Puts++
 		d.stats.PutRecords += int64(len(batch))
 		d.stats.IndexProbes += int64(totalProbes)
@@ -295,10 +345,12 @@ func (d *Device) Put(batch []PutRecord) error {
 }
 
 // rollbackStaged undoes phase-1b staging for the already-staged prefix of
-// a batch whose later record failed (mapping table full). Index entries are
-// restored to their pre-batch values; records already routed to a packer
-// become garbage automatically because the flusher's install CAS no longer
-// matches. Called with d.mu held.
+// a batch whose later record failed (mapping table full, power cut).
+// Index entries are restored to their pre-batch values; records already
+// routed to a packer become garbage automatically because the flusher's
+// install CAS no longer matches, and the caller's abortBatch marks their
+// sequences so recovery never resurrects flash copies. Called with d.mu
+// held.
 func (d *Device) rollbackStaged(batch []PutRecord, undo []undoEntry) {
 	for i, u := range undo {
 		r := batch[i]
@@ -306,7 +358,6 @@ func (d *Device) rollbackStaged(batch []PutRecord, undo []undoEntry) {
 		if !ok {
 			continue
 		}
-		delete(d.nvram, u.seq)
 		if u.existed {
 			_, _, _ = ns.index.Put(r.Key, u.oldVal)
 			if loc := location(u.oldVal); loc.isFlash() {
@@ -325,7 +376,7 @@ func (d *Device) rollbackStaged(batch []PutRecord, undo []undoEntry) {
 func (d *Device) Flush() {
 	for {
 		d.mu.Lock()
-		busy := len(d.nvram) > 0
+		busy := d.nv.unflushed() > 0 && !d.crashed
 		d.mu.Unlock()
 		if !busy {
 			return

@@ -1,0 +1,286 @@
+package kamlssd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/nvme"
+	"github.com/kaml-ssd/kaml/internal/record"
+)
+
+// Recover rebuilds a device after a power cut from the two artifacts that
+// survive one: the flash array and the battery-backed NVRAM. Unlike the
+// legacy Restore (state.go), which replays a DRAM snapshot, Recover trusts
+// nothing volatile — every mapping table, the log allocator, and the
+// valid-byte accounting are reconstructed by scanning the logs, exactly as
+// real firmware would after power loss (paper §IV-D: "the firmware
+// recovers using the data in the non-volatile buffers" plus a log scan).
+//
+// The protocol, in order:
+//
+//  1. Recreate every namespace from the NVRAM catalog, with empty indices.
+//     (Swapped-out tables are recovered unswapped; their stale flash pages
+//     fail the liveness check and become garbage.)
+//  2. Discard staged values of batches that never committed: their Puts
+//     were not acknowledged, so the whole batch must vanish (atomicity).
+//  3. Scan every programmed page of every block. Pages failing the OOB
+//     magic/CRC (torn or garbage) are skipped. For each record, apply
+//     newest-sequence-wins per (namespace, key), honoring each family
+//     member's snapshot cutoff — and ignore sequences that are aborted or
+//     belong to a still-staged (hence at-cut-uncommitted-or-racing) batch
+//     only if aborted; a staged-and-committed value seen on flash is
+//     simply already durable.
+//  4. Rebuild the allocator: retired blocks stay out of service, empty
+//     blocks become free, partially-programmed blocks are padded with
+//     empty record pages (flash programs in order; a half-filled block
+//     cannot be appended to safely after its log's DRAM queue is lost) and
+//     sealed so GC can reclaim the waste.
+//  5. Restart the background actors, then replay the surviving committed
+//     NVRAM values in sequence order: each value newer than anything on
+//     flash re-enters the index at its NVRAM location and is re-staged
+//     into a packer for programming; values already superseded or durable
+//     are released.
+//
+// The configuration and flash geometry must match the pre-crash device.
+func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*Device, error) {
+	arr.PowerOn()
+	fc := arr.Config()
+	if cfg.NumLogs <= 0 || cfg.NumLogs > fc.Chips() {
+		return nil, fmt.Errorf("kamlssd: recover with NumLogs %d, need 1..%d", cfg.NumLogs, fc.Chips())
+	}
+	d := &Device{
+		cfg:        cfg,
+		fc:         fc,
+		arr:        arr,
+		ctrl:       ctrl,
+		eng:        arr.Engine(),
+		namespaces: make(map[uint32]*namespace),
+		nv:         nv,
+	}
+	d.mu = d.eng.NewMutex("kaml")
+	d.keyLks = newKeyLockTable(d.eng, d.mu)
+	d.buildLogs()
+
+	// 1. Namespaces from the catalog (sorted for determinism).
+	for _, m := range nv.sortedCatalog() {
+		nLogs := m.numLogs
+		if nLogs <= 0 || nLogs > len(d.logs) {
+			nLogs = len(d.logs)
+		}
+		ns := &namespace{
+			id:       m.id,
+			index:    newIndex(m.kind, m.capacity, cfg.AutoGrowIndex),
+			origin:   m.origin,
+			readonly: m.readonly,
+			cutoff:   m.cutoff,
+		}
+		for i := 0; i < nLogs; i++ {
+			ns.logIDs = append(ns.logIDs, i)
+		}
+		d.namespaces[m.id] = ns
+	}
+
+	// 2. Uncommitted batches vanish whole.
+	d.stats.DroppedUncommitted = int64(nv.dropUncommitted())
+
+	// 3 + 4. Scan the logs and rebuild the allocator.
+	best := make(map[uint32]map[uint64]uint64, len(d.namespaces))
+	for id := range d.namespaces {
+		best[id] = make(map[uint64]uint64)
+	}
+	for _, lg := range d.logs {
+		lg.freeBlocks = 0
+		for ci := range lg.chips {
+			lc := lg.chips[ci]
+			ch, chip := lg.chipAddr(ci)
+			lc.free = lc.free[:0]
+			for b := range lc.blocks {
+				lc.blocks[b] = blockMeta{}
+				first := arr.BlockPPN(ch, chip, b, 0)
+				if nv.isRetired(first) {
+					lc.blocks[b].retired = true
+					continue
+				}
+				n := arr.ProgrammedPages(first)
+				if n == 0 {
+					lc.free = append(lc.free, b)
+					lg.freeBlocks++
+					continue
+				}
+				if err := d.scanBlock(lg, best, ch, chip, b, n); err != nil {
+					return nil, err
+				}
+				if n < fc.PagesPerBlock {
+					if err := d.padBlock(lc, ch, chip, b); err != nil {
+						return nil, err
+					}
+				}
+				if !lc.blocks[b].retired {
+					lc.blocks[b].sealed = true
+				}
+			}
+		}
+	}
+
+	// Valid-byte accounting from the rebuilt indices.
+	for _, m := range nv.sortedCatalog() {
+		ns := d.namespaces[m.id]
+		ns.index.Range(func(_, val uint64) bool {
+			if loc := location(val); loc.isFlash() {
+				d.creditValid(loc)
+			}
+			return true
+		})
+	}
+
+	// 5. Actors first (replay below can seal pages, which needs running
+	// flushers to drain the queue), then the NVRAM replay.
+	d.startActors()
+	if err := d.replayNVRAM(best); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// scanBlock reads the programmed prefix of one block and installs every
+// surviving record by newest-sequence-wins into each interested family
+// member's index.
+func (d *Device) scanBlock(lg *logState, best map[uint32]map[uint64]uint64, ch, chip, b, n int) error {
+	for page := 0; page < n; page++ {
+		ppn := d.arr.BlockPPN(ch, chip, b, page)
+		var data, oob []byte
+		var err error
+		for tries := 0; ; tries++ {
+			data, oob, err = d.arr.ReadPage(ppn)
+			if err == nil || !errors.Is(err, flash.ErrInjectedFailure) || tries >= maxReadRetries {
+				break
+			}
+			d.stats.ReadRetries++
+		}
+		if err != nil {
+			if errors.Is(err, flash.ErrInjectedFailure) {
+				// A persistently unreadable page: skip it. Any record whose
+				// newest copy sat there is served by an older copy or the
+				// NVRAM replay (committed data is in NVRAM until installed).
+				d.stats.TornPagesSkipped++
+				continue
+			}
+			return fmt.Errorf("kamlssd: recovery scan ppn %d: %w", ppn, err)
+		}
+		ptype, ok := checkOOB(oob, data)
+		if !ok {
+			d.stats.TornPagesSkipped++
+			continue
+		}
+		if ptype != pageTypeRecord {
+			continue // stale swapped-index page; dead after recovery
+		}
+		placed, perr := record.Parse(data, oob, d.cfg.ChunkSize)
+		if perr != nil {
+			return fmt.Errorf("kamlssd: recovery parse ppn %d: %w", ppn, perr)
+		}
+		for _, pl := range placed {
+			seq := pl.Record.Seq
+			if seq == 0 || d.nv.isAborted(seq) {
+				continue // padding record, rolled-back or uncommitted batch
+			}
+			loc := flashLoc(ppn, pl.StartChunk, pl.NumChunks)
+			for _, ns := range d.familyMembersSorted(pl.Record.Namespace) {
+				if ns.cutoff < seq || best[ns.id][pl.Record.Key] >= seq {
+					continue
+				}
+				if _, _, err := ns.index.Put(pl.Record.Key, uint64(loc)); err != nil {
+					return fmt.Errorf("kamlssd: recovery overflowed ns %d index: %w", ns.id, err)
+				}
+				best[ns.id][pl.Record.Key] = seq
+				d.stats.RecoveredRecords++
+			}
+		}
+	}
+	return nil
+}
+
+// padBlock fills a partially-programmed block with empty record pages
+// (bitmap 0 => no records; seq never matches) so the block can be sealed
+// and later reclaimed. Programs consumed by injected failures still
+// advance the block; a worn-out block is retired instead.
+func (d *Device) padBlock(lc *logChip, ch, chip, b int) error {
+	data := make([]byte, d.fc.PageSize)
+	oob := d.buildOOB(nil, pageTypeRecord, data)
+	first := d.arr.BlockPPN(ch, chip, b, 0)
+	for {
+		n := d.arr.ProgrammedPages(first)
+		if n >= d.fc.PagesPerBlock {
+			return nil
+		}
+		err := d.arr.ProgramPage(d.arr.BlockPPN(ch, chip, b, n), data, oob)
+		switch {
+		case err == nil:
+		case errors.Is(err, flash.ErrInjectedFailure):
+			d.stats.ProgramRetries++
+		case errors.Is(err, flash.ErrWornOut):
+			lc.blocks[b].retired = true
+			d.nv.retireBlock(first)
+			d.stats.BlocksRetired++
+			return nil
+		default:
+			return fmt.Errorf("kamlssd: recovery pad block: %w", err)
+		}
+	}
+}
+
+// replayNVRAM walks the surviving (all committed) staged values in
+// sequence order. A value newer than every flash copy re-enters the
+// affected indices at its NVRAM location and is re-staged into a packer;
+// one already durable or superseded everywhere is released.
+func (d *Device) replayNVRAM(best map[uint32]map[uint64]uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, seq := range d.nv.pendingSeqs() {
+		e := d.nv.values[seq]
+		e.installed = false // any pre-cut install died with the DRAM index
+		var route *namespace
+		for _, ns := range d.familyMembersSorted(e.ns) {
+			if ns.cutoff < seq || best[ns.id][e.key] >= seq {
+				continue
+			}
+			if _, _, err := ns.index.Put(e.key, uint64(nvramLoc(seq))); err != nil {
+				return fmt.Errorf("kamlssd: recovery overflowed ns %d index: %w", ns.id, err)
+			}
+			best[ns.id][e.key] = seq
+			if route == nil {
+				route = ns
+			}
+		}
+		if route == nil {
+			d.nv.finish(seq)
+			continue
+		}
+		rec := record.Record{Namespace: e.ns, Key: e.key, Seq: seq, Value: e.val}
+		lg := d.logs[route.logIDs[route.rr%len(route.logIDs)]]
+		route.rr++
+		if !lg.packer.Fits(rec.EncodedSize()) {
+			lg.sealPacker() // may release d.mu; flushers are already running
+		}
+		if lg.packer.Empty() {
+			lg.packerBorn = d.eng.Now()
+		}
+		chunk := lg.packer.Add(rec)
+		lg.pending = append(lg.pending, pendingRec{
+			ns: e.ns, key: e.key, seq: seq,
+			chunk: chunk, size: rec.EncodedSize(),
+		})
+		d.stats.ReplayedValues++
+	}
+	return nil
+}
+
+// familyMembersSorted is familyMembers with a deterministic order for
+// recovery. Called with no particular lock requirement beyond d.mu.
+func (d *Device) familyMembersSorted(root uint32) []*namespace {
+	out := d.familyMembers(root)
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

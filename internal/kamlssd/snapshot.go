@@ -51,16 +51,29 @@ func (d *Device) SnapshotNamespace(nsID uint32) (uint32, error) {
 			return
 		}
 
-		snapID = d.nextNSID
-		d.nextNSID++
+		snapID = d.nv.nextNSID
+		d.nv.nextNSID++
+		// The snapshot's view is "every sequence assigned so far" — or the
+		// source's own cutoff when snapshotting a snapshot. Recovery
+		// rebuilds the view from the raw flash scan as "newest record with
+		// seq <= cutoff", so the cutoff is persisted in the NVRAM catalog.
+		cut := src.cutoff
+		if cut == noCutoff {
+			cut = d.nv.nvSeq
+		}
 		snap := &namespace{
 			id:       snapID,
 			index:    src.index.Clone(),
 			logIDs:   append([]int(nil), src.logIDs...),
 			origin:   familyRoot(src),
 			readonly: true,
+			cutoff:   cut,
 		}
 		d.namespaces[snapID] = snap
+		d.nv.putNS(nsMeta{
+			id: snapID, kind: snap.index.Kind(), capacity: snap.index.Capacity(),
+			numLogs: len(snap.logIDs), origin: snap.origin, readonly: true, cutoff: cut,
+		})
 		// Records shared with the snapshot must count as valid even after
 		// the origin supersedes them; exact double-entry accounting per
 		// member is not worth the bookkeeping (GC re-validates every record

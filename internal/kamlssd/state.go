@@ -78,9 +78,7 @@ func (d *Device) SwapOutIndex(nsID uint32) error {
 		if err != nil {
 			return err
 		}
-		oob := make([]byte, 9)
-		oob[8] = pageTypeIndex
-		if err := d.arr.ProgramPage(ppn, blob[off:end], oob); err != nil {
+		if err := d.arr.ProgramPage(ppn, blob[off:end], d.buildOOB(nil, pageTypeIndex, blob[off:end])); err != nil {
 			return err
 		}
 		pages = append(pages, ppn)
@@ -184,6 +182,7 @@ type nsSnapshot struct {
 	swapPages []flash.PPN
 	origin    uint32
 	readonly  bool
+	cutoff    uint64
 }
 
 type logSnapshot struct {
@@ -208,12 +207,12 @@ type logChipSnapshot struct {
 func (d *Device) Crash() *State {
 	d.mu.Lock()
 	st := &State{
-		NextNSID: d.nextNSID,
-		NVSeq:    d.nvSeq,
-		NVRAM:    make(map[uint64][]byte, len(d.nvram)),
+		NextNSID: d.nv.nextNSID,
+		NVSeq:    d.nv.nvSeq,
+		NVRAM:    make(map[uint64][]byte, len(d.nv.values)),
 	}
-	for k, v := range d.nvram {
-		st.NVRAM[k] = append([]byte(nil), v...)
+	for k, e := range d.nv.values {
+		st.NVRAM[k] = append([]byte(nil), e.val...)
 	}
 	for _, ns := range d.namespaces {
 		snap := nsSnapshot{
@@ -223,6 +222,7 @@ func (d *Device) Crash() *State {
 			swapPages: append([]flash.PPN(nil), ns.swapPages...),
 			origin:    ns.origin,
 			readonly:  ns.readonly,
+			cutoff:    ns.cutoff,
 		}
 		if !ns.swapped {
 			snap.indexBlob = ns.index.Serialize()
@@ -293,16 +293,13 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 		ctrl:       ctrl,
 		eng:        arr.Engine(),
 		namespaces: make(map[uint32]*namespace),
-		nextNSID:   st.NextNSID,
-		nvSeq:      st.NVSeq,
-		nvram:      make(map[uint64][]byte, len(st.NVRAM)),
+		nv:         NewNVRAM(),
 	}
+	d.nv.nextNSID = st.NextNSID
+	d.nv.nvSeq = st.NVSeq
 	d.mu = d.eng.NewMutex("kaml")
 	d.keyLks = newKeyLockTable(d.eng, d.mu)
 	d.buildLogs()
-	for k, v := range st.NVRAM {
-		d.nvram[k] = append([]byte(nil), v...)
-	}
 	for _, snap := range st.NS {
 		ns := &namespace{
 			id:        snap.id,
@@ -311,7 +308,13 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 			swapPages: append([]flash.PPN(nil), snap.swapPages...),
 			origin:    snap.origin,
 			readonly:  snap.readonly,
+			cutoff:    snap.cutoff,
 		}
+		d.nv.putNS(nsMeta{
+			id: snap.id, kind: snap.indexKind, capacity: snap.indexCap,
+			numLogs: len(snap.logIDs), origin: snap.origin,
+			readonly: snap.readonly, cutoff: snap.cutoff,
+		})
 		if !snap.swapped {
 			tbl, err := deserializeIndex(snap.indexKind, snap.indexBlob, snap.indexCap, cfg.AutoGrowIndex)
 			if err != nil {
@@ -324,6 +327,37 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 	if len(st.Logs) != len(d.logs) {
 		return nil, fmt.Errorf("kamlssd: restore with %d logs, snapshot has %d",
 			len(d.logs), len(st.Logs))
+	}
+	// Rebuild the battery-backed value map. The legacy snapshot stores raw
+	// seq -> value bytes; each value's (ns, key) comes from the pending
+	// descriptors (every surviving value is referenced by the open packer
+	// or a sealed page). Everything is marked committed: the legacy path
+	// captures whole acknowledged Puts only.
+	type recInfo struct {
+		ns  uint32
+		key uint64
+	}
+	info := make(map[uint64]recInfo)
+	for _, ls := range st.Logs {
+		for _, pr := range ls.packerRecs {
+			info[pr.seq] = recInfo{pr.ns, pr.key}
+		}
+		for _, sp := range ls.sealed {
+			for _, pr := range sp.pending {
+				info[pr.seq] = recInfo{pr.ns, pr.key}
+			}
+		}
+	}
+	if len(st.NVRAM) > 0 {
+		d.nv.nextBatch++
+		b := &nvBatch{committed: true}
+		d.nv.batches[d.nv.nextBatch] = b
+		for seq, v := range st.NVRAM {
+			in := info[seq]
+			d.nv.values[seq] = &nvEntry{ns: in.ns, key: in.key, val: append([]byte(nil), v...), batch: d.nv.nextBatch}
+			b.seqs = append(b.seqs, seq)
+			b.remaining++
+		}
 	}
 	for i, ls := range st.Logs {
 		lg := d.logs[i]
@@ -360,11 +394,11 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 		// "the firmware recovers using the data in the non-volatile
 		// buffers").
 		for _, pr := range ls.packerRecs {
-			val, ok := d.nvram[pr.seq]
+			val, ok := d.nv.value(pr.seq)
 			if !ok {
 				return nil, fmt.Errorf("kamlssd: restore log %d: NVRAM seq %d missing", i, pr.seq)
 			}
-			rec := record.Record{Namespace: pr.ns, Key: pr.key, Value: val}
+			rec := record.Record{Namespace: pr.ns, Key: pr.key, Seq: pr.seq, Value: val}
 			if lg.packer.Empty() {
 				lg.packerBorn = d.eng.Now()
 			}

@@ -3,6 +3,7 @@ package kvproto
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -135,5 +136,60 @@ func TestProtocolErrors(t *testing.T) {
 	}
 	if _, err := c.CreateNamespace(10); err != nil {
 		t.Fatalf("connection broken after bad command: %v", err)
+	}
+}
+
+// TestClientDisconnectMidCommand drops connections in the middle of a PUT —
+// after the header line and again halfway through the payload — and checks
+// that the server neither installs the half-received value nor stops
+// serving other clients.
+func TestClientDisconnectMidCommand(t *testing.T) {
+	_, addr := startServer(t)
+
+	setup, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	ns, err := setup.CreateNamespace(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Header then immediate disconnect: the payload never arrives.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "PUT %d 1 64\n", ns)
+	conn.Close()
+
+	// Half the payload, then disconnect.
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "PUT %d 2 64\n", ns)
+	conn.Write(bytes.Repeat([]byte{0xCC}, 32))
+	conn.Close()
+
+	// The truncated PUTs must not have installed anything, and the server
+	// must still serve a fresh connection.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, key := range []uint64{1, 2} {
+		if _, err := c.Get(ns, key); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("key %d from aborted PUT visible: %v", key, err)
+		}
+	}
+	if err := c.Put(ns, 3, []byte("alive")); err != nil {
+		t.Fatalf("server dead after mid-command disconnects: %v", err)
+	}
+	v, err := c.Get(ns, 3)
+	if err != nil || string(v) != "alive" {
+		t.Fatalf("get after disconnects: %q %v", v, err)
 	}
 }

@@ -15,8 +15,12 @@ import (
 )
 
 // HeaderSize is the per-record header: namespace (4 B), key (8 B),
-// value length (4 B).
-const HeaderSize = 16
+// sequence (8 B), value length (4 B). The sequence number is the record's
+// global modification order, assigned when the write is staged in NVRAM;
+// crash recovery re-parses the logs and keeps, per key, the version with
+// the highest sequence (newest-sequence-wins). GC relocation preserves it,
+// so ordering survives any number of moves.
+const HeaderSize = 24
 
 // DefaultChunkSize matches the paper: 8192-byte pages / 64 chunks.
 const DefaultChunkSize = 128
@@ -25,6 +29,7 @@ const DefaultChunkSize = 128
 type Record struct {
 	Namespace uint32
 	Key       uint64
+	Seq       uint64 // global modification order (see HeaderSize)
 	Value     []byte
 }
 
@@ -41,7 +46,8 @@ func (r Record) Marshal(dst []byte) []byte {
 	var hdr [HeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], r.Namespace)
 	binary.LittleEndian.PutUint64(hdr[4:12], r.Key)
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(r.Value)))
+	binary.LittleEndian.PutUint64(hdr[12:20], r.Seq)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(r.Value)))
 	dst = append(dst, hdr[:]...)
 	return append(dst, r.Value...)
 }
@@ -51,13 +57,14 @@ func Unmarshal(b []byte) (Record, error) {
 	if len(b) < HeaderSize {
 		return Record{}, errors.New("record: short header")
 	}
-	vlen := binary.LittleEndian.Uint32(b[12:16])
+	vlen := binary.LittleEndian.Uint32(b[20:24])
 	if int(vlen) > len(b)-HeaderSize {
 		return Record{}, fmt.Errorf("record: value length %d exceeds buffer %d", vlen, len(b)-HeaderSize)
 	}
 	return Record{
 		Namespace: binary.LittleEndian.Uint32(b[0:4]),
 		Key:       binary.LittleEndian.Uint64(b[4:12]),
+		Seq:       binary.LittleEndian.Uint64(b[12:20]),
 		Value:     append([]byte(nil), b[HeaderSize:HeaderSize+int(vlen)]...),
 	}, nil
 }

@@ -8,14 +8,14 @@ import (
 )
 
 func TestMarshalUnmarshalRoundTrip(t *testing.T) {
-	f := func(ns uint32, key uint64, val []byte) bool {
-		r := Record{Namespace: ns, Key: key, Value: val}
+	f := func(ns uint32, key, seq uint64, val []byte) bool {
+		r := Record{Namespace: ns, Key: key, Seq: seq, Value: val}
 		b := r.Marshal(nil)
 		got, err := Unmarshal(b)
 		if err != nil {
 			return false
 		}
-		return got.Namespace == ns && got.Key == key && bytes.Equal(got.Value, val)
+		return got.Namespace == ns && got.Key == key && got.Seq == seq && bytes.Equal(got.Value, val)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/kaml-ssd/kaml/internal/cache"
+	"github.com/kaml-ssd/kaml/internal/faultinject"
 	"github.com/kaml-ssd/kaml/internal/flash"
 	"github.com/kaml-ssd/kaml/internal/kamlssd"
 	"github.com/kaml-ssd/kaml/internal/nvme"
@@ -52,6 +53,9 @@ var (
 	ErrValueTooLarge = kamlssd.ErrValueTooLarge
 	// ErrReadOnly reports a Put against a snapshot namespace.
 	ErrReadOnly = kamlssd.ErrReadOnly
+	// ErrPowerLoss reports an operation interrupted by a power cut. A Put
+	// returning it was NOT acknowledged: after Reopen the batch is absent.
+	ErrPowerLoss = kamlssd.ErrPowerLoss
 	// ErrTxnAborted reports a transaction killed by concurrency control;
 	// retry it.
 	ErrTxnAborted = storage.ErrAborted
@@ -67,6 +71,29 @@ type Options struct {
 	Transport nvme.Config
 	// Firmware tunes the KAML FTL (log count, GC watermarks, ...).
 	Firmware kamlssd.Config
+	// Faults, when non-nil, installs a deterministic fault plan on the
+	// flash array: seeded per-operation failure probabilities and/or a
+	// power cut at a chosen point. Crash-consistency tests sweep its seed.
+	Faults *FaultPlan
+}
+
+// FaultPlan mirrors the fault-injection configuration (see
+// internal/faultinject): seeded probabilities for read/program/erase
+// failures plus an optional deterministic power cut.
+type FaultPlan struct {
+	// Seed initializes the plan's PRNG for probability draws.
+	Seed int64
+	// Per-operation failure probabilities in [0, 1].
+	ReadFailProb    float64
+	ProgramFailProb float64
+	EraseFailProb   float64
+	// CutAfterPrograms > 0 cuts power on the Nth flash program attempt.
+	CutAfterPrograms int
+	// CutAtTime > 0 cuts power at the first flash operation at or after
+	// the given virtual time.
+	CutAtTime time.Duration
+	// TornPageOnCut makes a program-triggered cut leave a torn page.
+	TornPageOnCut bool
 }
 
 // DefaultOptions mirrors the paper's board: 16 channels x 4 chips, 8 KB
@@ -95,8 +122,10 @@ func SmallOptions() Options {
 
 // Device is a simulated KAML SSD plus the simulation engine it runs on.
 type Device struct {
-	eng *sim.Engine
-	dev *kamlssd.Device
+	eng  *sim.Engine
+	arr  *flash.Array
+	dev  *kamlssd.Device
+	opts Options
 }
 
 // Open builds a device on a fresh virtual clock.
@@ -106,9 +135,63 @@ func Open(opts Options) (*Device, error) {
 	}
 	eng := sim.NewEngine()
 	arr := flash.New(eng, opts.Flash)
+	if opts.Faults != nil {
+		f := *opts.Faults
+		arr.SetInjector(faultinject.New(faultinject.Config{
+			Seed:             f.Seed,
+			ReadFailProb:     f.ReadFailProb,
+			ProgramFailProb:  f.ProgramFailProb,
+			EraseFailProb:    f.EraseFailProb,
+			CutAfterPrograms: f.CutAfterPrograms,
+			CutAtTime:        f.CutAtTime,
+			TornPageOnCut:    f.TornPageOnCut,
+		}))
+	}
 	ctrl := nvme.New(eng, opts.Transport)
 	dev := kamlssd.New(arr, ctrl, opts.Firmware)
-	return &Device{eng: eng, dev: dev}, nil
+	return &Device{eng: eng, arr: arr, dev: dev, opts: opts}, nil
+}
+
+// CrashImage is what survives a power cut: the flash array's contents and
+// the battery-backed NVRAM, still attached to the original virtual clock.
+// Pass it to Reopen to run recovery.
+type CrashImage struct {
+	eng  *sim.Engine
+	arr  *flash.Array
+	nv   *kamlssd.NVRAM
+	opts Options
+}
+
+// Crash cuts power to the device and waits for its internal actors to
+// halt, then returns the surviving state. Call from a simulation actor.
+// Unlike Close nothing is drained: values still in the staging buffers
+// stay there (they are battery-backed) and everything volatile is lost.
+// In-flight operations fail with ErrPowerLoss; the device is unusable
+// afterwards — hand the image to Reopen.
+func (d *Device) Crash() *CrashImage {
+	d.dev.PowerFail()
+	d.dev.AwaitHalt()
+	return &CrashImage{eng: d.eng, arr: d.arr, nv: d.dev.NVRAM(), opts: d.opts}
+}
+
+// PowerCut cuts power without waiting for the device to halt — use it from
+// a concurrent actor while operations are in flight. Follow with Crash
+// (which is then just the halt-and-capture step) before Reopen.
+func (d *Device) PowerCut() { d.dev.PowerFail() }
+
+// Reopen runs power-failure recovery on a crash image: the firmware scans
+// the flash logs to rebuild every namespace's mapping table
+// (newest-sequence-wins, honoring snapshot cutoffs), discards batches that
+// never committed, and replays committed staging-buffer values. The
+// returned device runs on the same virtual clock; Stats on it reports the
+// Recovered*/Replayed*/Dropped* counters. Call from a simulation actor.
+func Reopen(img *CrashImage) (*Device, error) {
+	ctrl := nvme.New(img.eng, img.opts.Transport)
+	dev, err := kamlssd.Recover(img.arr, ctrl, img.opts.Firmware, img.nv)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{eng: img.eng, arr: img.arr, dev: dev, opts: img.opts}, nil
 }
 
 // Go runs fn as a simulation actor. All device operations must happen
