@@ -6,10 +6,16 @@
 //	kamlbench                  # run everything at the default scale
 //	kamlbench -run fig5,fig9   # specific experiments
 //	kamlbench -scale 2         # larger working sets / longer windows
+//	kamlbench -parallel 8      # figure-cell worker pool (default GOMAXPROCS)
 //	kamlbench -json out.json   # also write the tables as JSON ("-" = stdout)
+//	kamlbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	kamlbench -list            # list experiment IDs
 //
 // Experiment IDs: fig5 fig6 fig7 fig8 fig9 fig10 conflicts
+//
+// Each figure cell is an independent simulation on its own virtual clock,
+// so -parallel changes wall-clock time only: the tables are identical at
+// any worker count.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -49,22 +57,29 @@ func catalog() []experiment {
 
 // jsonExperiment is one experiment's results in the -json report.
 type jsonExperiment struct {
-	ID          string                `json:"id"`
-	Description string                `json:"description"`
-	WallSeconds float64               `json:"wall_seconds"`
-	Tables      []*experiments.Table  `json:"tables"`
+	ID          string               `json:"id"`
+	Description string               `json:"description"`
+	WallSeconds float64              `json:"wall_seconds"`
+	WallMS      float64              `json:"wall_ms"`
+	AllocsPerOp float64              `json:"allocs_per_op"`
+	Tables      []*experiments.Table `json:"tables"`
 }
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {
 	Scale       float64          `json:"scale"`
+	Parallel    int              `json:"parallel"`
+	Cores       int              `json:"cores"`
 	Experiments []jsonExperiment `json:"experiments"`
 }
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	scale := flag.Float64("scale", 1.0, "working-set / window scale factor")
+	parallel := flag.Int("parallel", 0, "figure-cell worker pool size (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write experiment tables as JSON to this path (\"-\" = stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -74,6 +89,22 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.id, e.desc)
 		}
 		return
+	}
+
+	experiments.SetParallelism(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	want := map[string]bool{}
@@ -95,21 +126,39 @@ func main() {
 		}
 	}
 
-	report := jsonReport{Scale: *scale}
+	report := jsonReport{
+		Scale:    *scale,
+		Parallel: experiments.Parallelism(),
+		Cores:    runtime.NumCPU(),
+	}
 	for _, e := range cat {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
 		fmt.Printf("--- running %s (%s) ---\n", e.id, e.desc)
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		ops0 := experiments.OpsCompleted()
 		start := time.Now()
 		tables := e.run(experiments.Scale(*scale))
 		for _, tb := range tables {
 			fmt.Println(tb.Render())
 		}
-		elapsed := time.Since(start).Seconds()
-		fmt.Printf("(%s took %.1fs wall-clock)\n\n", e.id, elapsed)
+		elapsed := time.Since(start)
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		allocsPerOp := 0.0
+		if ops := experiments.OpsCompleted() - ops0; ops > 0 {
+			allocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+		}
+		fmt.Printf("(%s took %.1fs wall-clock, %.0f allocs/op)\n\n",
+			e.id, elapsed.Seconds(), allocsPerOp)
 		report.Experiments = append(report.Experiments, jsonExperiment{
-			ID: e.id, Description: e.desc, WallSeconds: elapsed, Tables: tables,
+			ID: e.id, Description: e.desc,
+			WallSeconds: elapsed.Seconds(),
+			WallMS:      float64(elapsed.Microseconds()) / 1000,
+			AllocsPerOp: allocsPerOp,
+			Tables:      tables,
 		})
 	}
 
@@ -124,6 +173,20 @@ func main() {
 			os.Stdout.Write(blob)
 		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *memProfile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -82,7 +82,7 @@ func AblationIndexKind(s Scale) *Table {
 		r.eng.Wait()
 		return avg
 	}
-	for _, row := range []struct {
+	rows := []struct {
 		name string
 		kind kamlssd.IndexKind
 		load float64
@@ -90,10 +90,20 @@ func AblationIndexKind(s Scale) *Table {
 		{"hash @0.4", kamlssd.IndexHash, 0.4},
 		{"hash @0.9", kamlssd.IndexHash, 0.9},
 		{"tree", kamlssd.IndexTree, 0},
-	} {
+	}
+	sizes := []int{2000, 20000}
+	res := make([][]float64, len(rows))
+	for i := range res {
+		res[i] = make([]float64, len(sizes))
+	}
+	runCells(len(rows)*len(sizes), func(cell int) {
+		ri, ni := cell/len(sizes), cell%len(sizes)
+		res[ri][ni] = measureGet(rows[ri].kind, sizes[ni], rows[ri].load)
+	})
+	for ri, row := range rows {
 		cells := []string{row.name}
-		for _, n := range []int{2000, 20000} {
-			cells = append(cells, fmt.Sprintf("%.1f", measureGet(row.kind, n, row.load)))
+		for ni := range sizes {
+			cells = append(cells, fmt.Sprintf("%.1f", res[ri][ni]))
 		}
 		t.Rows = append(t.Rows, cells)
 	}
@@ -113,7 +123,10 @@ func AblationCheckpoint(s Scale) *Table {
 		Title:  "Shore-MT TPC-B: background checkpointing interference",
 		Header: []string{"checkpointer", "txn/s"},
 	}
-	for _, every := range []time.Duration{0, 20 * time.Millisecond} {
+	intervals := []time.Duration{0, 20 * time.Millisecond}
+	tpsByCell := make([]float64, len(intervals))
+	runCells(len(intervals), func(cell int) {
+		every := intervals[cell]
 		cfg := tpcbConfig(s)
 		eng := sim.NewEngine()
 		arr := flash.New(eng, oltpFlash())
@@ -146,11 +159,14 @@ func AblationCheckpoint(s Scale) *Table {
 			tps = float64(ops) / window.Seconds()
 		})
 		eng.Wait()
+		tpsByCell[cell] = tps
+	})
+	for cell, every := range intervals {
 		label := "off"
 		if every > 0 {
 			label = fmt.Sprintf("every %v", every)
 		}
-		t.Rows = append(t.Rows, []string{label, fmt.Sprintf("%.0f", tps)})
+		t.Rows = append(t.Rows, []string{label, fmt.Sprintf("%.0f", tpsByCell[cell])})
 	}
 	t.Notes = append(t.Notes,
 		"paper §V-D.1: checkpoint copying happens in the background but interferes with foreground work")
@@ -166,7 +182,14 @@ func AblationGranularity(s Scale) *Table {
 		Title:  "KAML TPC-B throughput vs records per lock",
 		Header: []string{"records/lock", "txn/s", "wait-die kills"},
 	}
-	for _, gran := range []int{1, 4, 16, 64} {
+	grans := []int{1, 4, 16, 64}
+	type granCell struct {
+		tps   float64
+		kills int64
+	}
+	cells := make([]granCell, len(grans))
+	runCells(len(grans), func(cell int) {
+		gran := grans[cell]
 		cfg := tpcbConfig(s)
 		workingSet := int64(cfg.Branches*cfg.AccountsPerBranch) * int64(cfg.ValueSize)
 		rig := newOLTPRig(engineKAML, oltpFlash(), workingSet*2, gran, 1, 0)
@@ -188,8 +211,13 @@ func AblationGranularity(s Scale) *Table {
 			kills = rig.kaml.Stats().Dies
 		})
 		rig.eng.Wait()
+		cells[cell] = granCell{tps: tps, kills: kills}
+	})
+	for cell, gran := range grans {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", gran), fmt.Sprintf("%.0f", tps), fmt.Sprintf("%d", kills),
+			fmt.Sprintf("%d", gran),
+			fmt.Sprintf("%.0f", cells[cell].tps),
+			fmt.Sprintf("%d", cells[cell].kills),
 		})
 	}
 	t.Notes = append(t.Notes,
@@ -220,8 +248,11 @@ func AblationWriteAmp(s Scale) *Table {
 	// amplification measures the timer, not the layout.
 	const workers = 8
 
+	var rows [2][]string
+	var jobs cellJobs
+
 	// KAML device.
-	{
+	jobs = append(jobs, func() {
 		r := newKAMLRig(microFlash(), nil)
 		var payload, flashMB float64
 		r.eng.Go("main", func() {
@@ -253,12 +284,12 @@ func AblationWriteAmp(s Scale) *Table {
 			flashMB = float64(st.FlashBytesWritten-base.FlashBytesWritten) / 1e6
 		})
 		r.eng.Wait()
-		t.Rows = append(t.Rows, []string{"KAML", f2(payload), f2(flashMB), f2(flashMB / payload)})
-	}
+		rows[0] = []string{"KAML", f2(payload), f2(flashMB), f2(flashMB / payload)}
+	})
 
 	// Block device: each 512 B update is a sub-sector write (RMW + whole
 	// sectors on flash).
-	{
+	jobs = append(jobs, func() {
 		r := newBlockRig(microFlash())
 		var payload, flashMB float64
 		r.eng.Go("main", func() {
@@ -289,8 +320,10 @@ func AblationWriteAmp(s Scale) *Table {
 			flashMB = float64(st.Programs-base.Programs) * float64(microFlash().PageSize) / 1e6
 		})
 		r.eng.Wait()
-		t.Rows = append(t.Rows, []string{"block SSD", f2(payload), f2(flashMB), f2(flashMB / payload)})
-	}
+		rows[1] = []string{"block SSD", f2(payload), f2(flashMB), f2(flashMB / payload)}
+	})
+	jobs.run()
+	t.Rows = append(t.Rows, rows[0], rows[1])
 	t.Notes = append(t.Notes,
 		"KAML packs records into pages (§IV-B); the block path writes sector-granular data and GCs it — 'one layer of garbage collection rather than two' (§V-D.1)")
 	return t

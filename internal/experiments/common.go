@@ -9,7 +9,9 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +69,76 @@ func (t *Table) Render() string {
 // Scale shrinks or grows experiment working sets. 1.0 is the default
 // benchmark size (seconds per figure); tests use smaller values.
 type Scale float64
+
+// cellParallelism caps how many figure cells — independent simulations,
+// each on its own sim.Engine and virtual clock — run on host goroutines at
+// once. 0 means GOMAXPROCS.
+var cellParallelism atomic.Int64
+
+// SetParallelism sets the cell worker-pool size. n <= 0 restores the
+// default (GOMAXPROCS). Virtual-time results are unaffected: every cell is
+// a self-contained simulation, so the pool changes only wall-clock time.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	cellParallelism.Store(int64(n))
+}
+
+// Parallelism reports the effective cell worker-pool size.
+func Parallelism() int {
+	if p := int(cellParallelism.Load()); p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells executes fn(0..n-1) on up to Parallelism() workers. Callers
+// write each cell's result into an index-addressed slot and assemble rows
+// after the pool drains, so table contents never depend on scheduling
+// order.
+func runCells(n int, fn func(i int)) {
+	p := Parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// cellJobs collects independent cell closures; run drains them through the
+// worker pool.
+type cellJobs []func()
+
+func (j cellJobs) run() { runCells(len(j), func(i int) { j[i]() }) }
+
+// opsDone counts operations completed inside measurement windows across
+// every figure; the harness reads the running total to report allocations
+// per simulated operation.
+var opsDone atomic.Int64
+
+// OpsCompleted returns the number of measured operations so far.
+func OpsCompleted() int64 { return opsDone.Load() }
 
 // microFlash is the device geometry for the microbenchmarks: the paper's
 // 16x4 chip array with a reduced block count so simulated churn stays
@@ -146,6 +218,7 @@ func measure(eng *sim.Engine, workers int, warmup, window time.Duration,
 		stop.Store(true)
 	})
 	wg.Wait()
+	opsDone.Add(ops.Load())
 	return ops.Load()
 }
 

@@ -121,20 +121,43 @@ func Fig5(s Scale) []*Table {
 		Header: []string{"value", "write(block)", "Put@0.1", "Put@0.4", "Put@0.7"},
 	}
 
-	for _, size := range microSizes {
-		// --- Baseline: one rig per op kind.
-		readBW := blockBandwidth(size, n, warm, window, "fetch")
-		writeBW := blockBandwidth(size, n, warm, window, "update")
-		insBW := blockBandwidth(size, n, warm, window, "insert")
-
-		frow := []string{fmt.Sprintf("%dB", size), f2(readBW)}
-		urow := []string{fmt.Sprintf("%dB", size), f2(writeBW)}
-		irow := []string{fmt.Sprintf("%dB", size), f2(insBW)}
-		for _, load := range microLoads {
-			g, p, ins := kamlBandwidth(size, n, load, warm, window)
-			frow = append(frow, f2(g))
-			urow = append(urow, f2(p))
-			irow = append(irow, f2(ins))
+	// Every cell — one baseline rig or one KAML (size, load) pair — is an
+	// independent simulation, so they fan out across the worker pool and
+	// the rows are assembled from indexed slots afterwards.
+	type sizeCell struct {
+		readBW, writeBW, insBW float64
+		get, put, ins          []float64
+	}
+	cells := make([]sizeCell, len(microSizes))
+	var jobs cellJobs
+	for si := range microSizes {
+		si, size := si, microSizes[si]
+		c := &cells[si]
+		c.get = make([]float64, len(microLoads))
+		c.put = make([]float64, len(microLoads))
+		c.ins = make([]float64, len(microLoads))
+		jobs = append(jobs,
+			func() { c.readBW = blockBandwidth(size, n, warm, window, "fetch") },
+			func() { c.writeBW = blockBandwidth(size, n, warm, window, "update") },
+			func() { c.insBW = blockBandwidth(size, n, warm, window, "insert") },
+		)
+		for li := range microLoads {
+			li, load := li, microLoads[li]
+			jobs = append(jobs, func() {
+				c.get[li], c.put[li], c.ins[li] = kamlBandwidth(size, n, load, warm, window)
+			})
+		}
+	}
+	jobs.run()
+	for si, size := range microSizes {
+		c := &cells[si]
+		frow := []string{fmt.Sprintf("%dB", size), f2(c.readBW)}
+		urow := []string{fmt.Sprintf("%dB", size), f2(c.writeBW)}
+		irow := []string{fmt.Sprintf("%dB", size), f2(c.insBW)}
+		for li := range microLoads {
+			frow = append(frow, f2(c.get[li]))
+			urow = append(urow, f2(c.put[li]))
+			irow = append(irow, f2(c.ins[li]))
 		}
 		fetch.Rows = append(fetch.Rows, frow)
 		update.Rows = append(update.Rows, urow)
@@ -262,20 +285,33 @@ func Fig6(s Scale) []*Table {
 	insert := &Table{ID: "fig6c", Title: "Insert latency (us), 1 thread, load 0.4",
 		Header: []string{"value", "write(block)", "write p99", "Put", "Put p99"}}
 
-	for _, size := range microSizes {
-		br := blockLatency(size, n, iters, "fetch")
-		bw := blockLatency(size, n, iters, "update")
-		bi := blockLatency(size, n, iters, "insert")
-		kg, kp, ki := kamlLatency(size, n, 0.4, iters)
+	type sizeCell struct {
+		br, bw, bi, kg, kp, ki *stats.Histogram
+	}
+	cells := make([]sizeCell, len(microSizes))
+	var jobs cellJobs
+	for si := range microSizes {
+		si, size := si, microSizes[si]
+		c := &cells[si]
+		jobs = append(jobs,
+			func() { c.br = blockLatency(size, n, iters, "fetch") },
+			func() { c.bw = blockLatency(size, n, iters, "update") },
+			func() { c.bi = blockLatency(size, n, iters, "insert") },
+			func() { c.kg, c.kp, c.ki = kamlLatency(size, n, 0.4, iters) },
+		)
+	}
+	jobs.run()
+	for si, size := range microSizes {
+		c := &cells[si]
 		us := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/1000) }
 		row := func(b, k *stats.Histogram) []string {
 			return []string{fmt.Sprintf("%dB", size),
 				us(b.Mean()), us(b.Quantile(0.99)),
 				us(k.Mean()), us(k.Quantile(0.99))}
 		}
-		fetch.Rows = append(fetch.Rows, row(br, kg))
-		update.Rows = append(update.Rows, row(bw, kp))
-		insert.Rows = append(insert.Rows, row(bi, ki))
+		fetch.Rows = append(fetch.Rows, row(c.br, c.kg))
+		update.Rows = append(update.Rows, row(c.bw, c.kp))
+		insert.Rows = append(insert.Rows, row(c.bi, c.ki))
 	}
 	fetch.Notes = append(fetch.Notes, "paper: Get ~= read")
 	update.Notes = append(update.Notes, "paper: Put ~20% of write below 4KB (RMW), ~parity at 4KB")
@@ -366,11 +402,13 @@ func Fig7(s Scale) []*Table {
 	pop := &Table{ID: "fig7b", Title: "Time to populate namespace to 70% load",
 		Header: []string{"batch", "ms"}}
 
-	for _, b := range batches {
+	bws := make([]float64, len(batches))
+	popTimes := make([]time.Duration, len(batches))
+	runCells(len(batches), func(bi int) {
+		b := batches[bi]
 		r := newKAMLRig(microFlash(), nil)
 		var bw float64
 		var popTime time.Duration
-		b := b
 		r.eng.Go("main", func() {
 			defer r.dev.Close()
 			ns, err := kamlPreload(r, n, size, 0.4)
@@ -412,9 +450,13 @@ func Fig7(s Scale) []*Table {
 			popTime = r.eng.Now() - start
 		})
 		r.eng.Wait()
-		up.Rows = append(up.Rows, []string{fmt.Sprintf("%d", b), f2(bw)})
+		bws[bi] = bw
+		popTimes[bi] = popTime
+	})
+	for bi, b := range batches {
+		up.Rows = append(up.Rows, []string{fmt.Sprintf("%d", b), f2(bws[bi])})
 		pop.Rows = append(pop.Rows, []string{fmt.Sprintf("%d", b),
-			fmt.Sprintf("%.2f", popTime.Seconds()*1000)})
+			fmt.Sprintf("%.2f", popTimes[bi].Seconds()*1000)})
 	}
 	up.Notes = append(up.Notes, "paper: batch 1->4 raises Update throughput 1.2-1.3x")
 	pop.Notes = append(pop.Notes, "paper: batching cuts population time by ~40%")
@@ -432,8 +474,10 @@ func Fig8(s Scale) *Table {
 	size := 512
 	t := &Table{ID: "fig8", Title: "Put throughput vs number of logs (MB/s), 64 threads",
 		Header: []string{"logs", "MB/s"}}
-	for _, logs := range []int{16, 32, 64} {
-		logs := logs
+	logCounts := []int{16, 32, 64}
+	bws := make([]float64, len(logCounts))
+	runCells(len(logCounts), func(li int) {
+		logs := logCounts[li]
 		r := newKAMLRig(microFlash(), func(c *kamlssd.Config) { c.NumLogs = logs })
 		var bw float64
 		r.eng.Go("main", func() {
@@ -452,7 +496,10 @@ func Fig8(s Scale) *Table {
 			bw = mbps(ops, size, window)
 		})
 		r.eng.Wait()
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", logs), f2(bw)})
+		bws[li] = bw
+	})
+	for li, logs := range logCounts {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", logs), f2(bws[li])})
 	}
 	t.Notes = append(t.Notes, "paper: 16 -> 64 logs raises throughput ~5.8x")
 	return t

@@ -63,12 +63,28 @@ func Fig9(s Scale) *Table {
 		Title:  "OLTP throughput (transactions/s, 8 workers)",
 		Header: []string{"variant", "TPC-B AcctUpd", "TPC-C NewOrder", "TPC-C Payment"},
 	}
-	for _, v := range fig9Variants() {
-		row := []string{v.name}
-		row = append(row, fmt.Sprintf("%.0f", runTPCB(v, s, warm, window)))
-		no, pay := runTPCC(v, s, warm, window)
-		row = append(row, fmt.Sprintf("%.0f", no), fmt.Sprintf("%.0f", pay))
-		t.Rows = append(t.Rows, row)
+	// Each (variant, transaction) pair is its own simulation; fan the 15
+	// cells across the worker pool and assemble rows in variant order.
+	variants := fig9Variants()
+	type varCell struct{ tpcb, newOrder, payment float64 }
+	cells := make([]varCell, len(variants))
+	var jobs cellJobs
+	for vi := range variants {
+		vi, v := vi, variants[vi]
+		c := &cells[vi]
+		jobs = append(jobs,
+			func() { c.tpcb = runTPCB(v, s, warm, window) },
+			func() { c.newOrder = runTPCC(v, s, warm, window, "neworder") },
+			func() { c.payment = runTPCC(v, s, warm, window, "payment") },
+		)
+	}
+	jobs.run()
+	for vi, v := range variants {
+		c := &cells[vi]
+		t.Rows = append(t.Rows, []string{v.name,
+			fmt.Sprintf("%.0f", c.tpcb),
+			fmt.Sprintf("%.0f", c.newOrder),
+			fmt.Sprintf("%.0f", c.payment)})
 	}
 	t.Notes = append(t.Notes,
 		"paper: KAML beats Shore-MT(rec) by 4.0x (TPC-B), 1.1x (NewOrder), 2.0x (Payment)",
@@ -125,42 +141,35 @@ func tpccConfig(s Scale) workload.TPCCConfig {
 	return cfg
 }
 
-// runTPCC measures NewOrder and Payment transactions/s for one variant.
-func runTPCC(v oltpVariant, s Scale, warm, window time.Duration) (newOrder, payment float64) {
-	for _, txn := range []string{"neworder", "payment"} {
-		cfg := tpccConfig(s)
-		rows := cfg.Warehouses * (cfg.DistrictsPerWH*cfg.CustomersPerDist + cfg.StockPerWarehouse)
-		workingSet := int64(rows) * int64(cfg.RowSize) * 2
-		rig := newOLTPRig(v.kind, oltpFlash(), int64(float64(workingSet)*v.cacheShare),
-			v.kamlGran, v.shoreGran, 4096)
-		var tps float64
-		txn := txn
-		rig.eng.Go("main", func() {
-			defer rig.closeFn()
-			eng := rig.storageEngine()
-			c, err := workload.NewTPCC(eng, cfg)
-			if err != nil {
-				return
-			}
-			if err := c.Load(); err != nil {
-				return
-			}
-			ops := measure(rig.eng, oltpWorkers, warm, window, func(w int, rng *rand.Rand) bool {
-				if txn == "neworder" {
-					return c.NewOrder(rng) == nil
-				}
-				return c.Payment(rng) == nil
-			})
-			tps = float64(ops) / window.Seconds()
-		})
-		rig.eng.Wait()
-		if txn == "neworder" {
-			newOrder = tps
-		} else {
-			payment = tps
+// runTPCC measures one TPC-C transaction kind's transactions/s for one
+// variant ("neworder" or "payment").
+func runTPCC(v oltpVariant, s Scale, warm, window time.Duration, txn string) float64 {
+	cfg := tpccConfig(s)
+	rows := cfg.Warehouses * (cfg.DistrictsPerWH*cfg.CustomersPerDist + cfg.StockPerWarehouse)
+	workingSet := int64(rows) * int64(cfg.RowSize) * 2
+	rig := newOLTPRig(v.kind, oltpFlash(), int64(float64(workingSet)*v.cacheShare),
+		v.kamlGran, v.shoreGran, 4096)
+	var tps float64
+	rig.eng.Go("main", func() {
+		defer rig.closeFn()
+		eng := rig.storageEngine()
+		c, err := workload.NewTPCC(eng, cfg)
+		if err != nil {
+			return
 		}
-	}
-	return newOrder, payment
+		if err := c.Load(); err != nil {
+			return
+		}
+		ops := measure(rig.eng, oltpWorkers, warm, window, func(w int, rng *rand.Rand) bool {
+			if txn == "neworder" {
+				return c.NewOrder(rng) == nil
+			}
+			return c.Payment(rng) == nil
+		})
+		tps = float64(ops) / window.Seconds()
+	})
+	rig.eng.Wait()
+	return tps
 }
 
 // Fig10 reproduces the YCSB throughput comparison (paper Fig. 10, mixes
@@ -177,43 +186,47 @@ func Fig10(s Scale) *Table {
 	if records < 400 {
 		records = 400
 	}
-	for _, wl := range []byte{'a', 'b', 'c', 'd', 'f'} {
-		var res [2]float64
-		for i, kind := range []engineKind{engineKAML, engineShore} {
-			cfg := workload.YCSBConfig{Workload: wl, Records: records, ValueSize: 1024}
-			dataBytes := int64(records) * 1024
-			// "We choose not to cache the entire data set in memory since we
-			// want to test the performance of Get": 40% of data cached.
-			rig := newOLTPRig(kind, oltpFlash(), dataBytes*2/5, 1, 1,
-				int(dataBytes*2/5/8192))
-			var opsPerSec float64
-			rig.eng.Go("main", func() {
-				defer rig.closeFn()
-				eng := rig.storageEngine()
-				y, err := workload.NewYCSB(eng, cfg)
-				if err != nil {
-					return
-				}
-				if err := y.Load(rand.New(rand.NewSource(3)), 32); err != nil {
-					return
-				}
-				ops := measure(rig.eng, oltpWorkers, warm, window, func(w int, rng *rand.Rand) bool {
-					_, err := y.Op(rng)
-					return err == nil
-				})
-				opsPerSec = float64(ops) / window.Seconds()
+	workloads := []byte{'a', 'b', 'c', 'd', 'f'}
+	engines := []engineKind{engineKAML, engineShore}
+	res := make([][2]float64, len(workloads))
+	runCells(len(workloads)*len(engines), func(cell int) {
+		wi, ei := cell/len(engines), cell%len(engines)
+		wl, kind := workloads[wi], engines[ei]
+		cfg := workload.YCSBConfig{Workload: wl, Records: records, ValueSize: 1024}
+		dataBytes := int64(records) * 1024
+		// "We choose not to cache the entire data set in memory since we
+		// want to test the performance of Get": 40% of data cached.
+		rig := newOLTPRig(kind, oltpFlash(), dataBytes*2/5, 1, 1,
+			int(dataBytes*2/5/8192))
+		var opsPerSec float64
+		rig.eng.Go("main", func() {
+			defer rig.closeFn()
+			eng := rig.storageEngine()
+			y, err := workload.NewYCSB(eng, cfg)
+			if err != nil {
+				return
+			}
+			if err := y.Load(rand.New(rand.NewSource(3)), 32); err != nil {
+				return
+			}
+			ops := measure(rig.eng, oltpWorkers, warm, window, func(w int, rng *rand.Rand) bool {
+				_, err := y.Op(rng)
+				return err == nil
 			})
-			rig.eng.Wait()
-			res[i] = opsPerSec
-		}
+			opsPerSec = float64(ops) / window.Seconds()
+		})
+		rig.eng.Wait()
+		res[wi][ei] = opsPerSec
+	})
+	for wi, wl := range workloads {
 		speedup := 0.0
-		if res[1] > 0 {
-			speedup = res[0] / res[1]
+		if res[wi][1] > 0 {
+			speedup = res[wi][0] / res[wi][1]
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%c", wl),
-			fmt.Sprintf("%.0f", res[0]),
-			fmt.Sprintf("%.0f", res[1]),
+			fmt.Sprintf("%.0f", res[wi][0]),
+			fmt.Sprintf("%.0f", res[wi][1]),
 			fmt.Sprintf("%.2fx", speedup),
 		})
 	}

@@ -183,8 +183,11 @@ type chipState struct {
 }
 
 type blockState struct {
-	erases      int
-	nextPage    int // next programmable page index; PagesPerBlock when full
+	// erases and nextPage are atomics: ProgrammedPages and EraseCount are
+	// lock-free metadata queries that firmware actors (GC victim scoring)
+	// issue while another actor programs the same chip under cs.mu.
+	erases      atomic.Int32
+	nextPage    atomic.Int32 // next programmable page index; PagesPerBlock when full
 	data        [][]byte
 	oob         [][]byte
 	failedErase bool // error injection: next erase fails
@@ -292,7 +295,13 @@ func (a *Array) locate(p PPN) (*chipState, *blockState, Addr, error) {
 	return cs, &cs.blocks[addr.Block], addr, nil
 }
 
-// ReadPage reads a full page (data + OOB). The returned slices are copies.
+// ReadPage reads a full page (data + OOB). The returned slices alias the
+// array's internal storage and MUST be treated as immutable by the caller —
+// flash pages never change between program and erase, and an erase replaces
+// the backing buffers rather than zeroing them, so the contents stay stable
+// for as long as the caller holds them. Returning the internal buffers
+// avoids an 8 KB copy per read, the single largest allocation on the
+// firmware's hot path.
 // Timing: chip busy for ReadLatency, then the channel bus is held while the
 // page transfers to the controller.
 func (a *Array) ReadPage(p PPN) (data, oob []byte, err error) {
@@ -318,8 +327,8 @@ func (a *Array) ReadPage(p PPN) (data, oob []byte, err error) {
 		return nil, nil, fmt.Errorf("%w: ppn %d", ErrPageNotWritten, p)
 	}
 	a.eng.Sleep(a.cfg.ReadLatency)
-	data = append([]byte(nil), bs.data[addr.Page]...)
-	oob = append([]byte(nil), bs.oob[addr.Page]...)
+	data = bs.data[addr.Page]
+	oob = bs.oob[addr.Page]
 	a.reads.Add(1)
 	cs.mu.Unlock()
 	a.channels[addr.Channel].Use(a.cfg.TransferTime(a.cfg.PageSize + a.cfg.OOBSize))
@@ -345,15 +354,15 @@ func (a *Array) ProgramPage(p PPN, data, oob []byte) error {
 	a.channels[addr.Channel].Use(a.cfg.TransferTime(a.cfg.PageSize + a.cfg.OOBSize))
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	if a.cfg.EraseEndurance > 0 && bs.erases > a.cfg.EraseEndurance {
+	if a.cfg.EraseEndurance > 0 && int(bs.erases.Load()) > a.cfg.EraseEndurance {
 		return fmt.Errorf("%w: chip %d/%d block %d", ErrWornOut, addr.Channel, addr.Chip, addr.Block)
 	}
 	if bs.data[addr.Page] != nil {
 		return fmt.Errorf("%w: ppn %d", ErrPageWritten, p)
 	}
-	if addr.Page != bs.nextPage {
+	if addr.Page != int(bs.nextPage.Load()) {
 		return fmt.Errorf("%w: block %d expects page %d, got %d",
-			ErrProgramOrder, addr.Block, bs.nextPage, addr.Page)
+			ErrProgramOrder, addr.Block, bs.nextPage.Load(), addr.Page)
 	}
 	switch a.decide(OpProgram, p) {
 	case VerdictFail:
@@ -363,7 +372,7 @@ func (a *Array) ProgramPage(p PPN, data, oob []byte) error {
 		a.eng.Sleep(a.cfg.ProgramLatency)
 		bs.data[addr.Page] = make([]byte, a.cfg.PageSize)
 		bs.oob[addr.Page] = make([]byte, a.cfg.OOBSize)
-		bs.nextPage++
+		bs.nextPage.Add(1)
 		return fmt.Errorf("%w: program ppn %d", ErrInjectedFailure, p)
 	case VerdictPowerCut:
 		// Power died before the cells committed; the page stays unwritten.
@@ -374,7 +383,7 @@ func (a *Array) ProgramPage(p PPN, data, oob []byte) error {
 		copy(stored, data[:len(data)/2])
 		bs.data[addr.Page] = stored
 		bs.oob[addr.Page] = make([]byte, a.cfg.OOBSize)
-		bs.nextPage++
+		bs.nextPage.Add(1)
 		return fmt.Errorf("%w: torn program ppn %d", ErrPowerCut, p)
 	}
 	a.eng.Sleep(a.cfg.ProgramLatency)
@@ -384,7 +393,7 @@ func (a *Array) ProgramPage(p PPN, data, oob []byte) error {
 	copy(soob, oob)
 	bs.data[addr.Page] = stored
 	bs.oob[addr.Page] = soob
-	bs.nextPage++
+	bs.nextPage.Add(1)
 	a.programs.Add(1)
 	return nil
 }
@@ -415,15 +424,17 @@ func (a *Array) EraseBlock(p PPN) error {
 		bs.failedErase = false
 		return fmt.Errorf("%w: erase of chip %d/%d block %d", ErrInjectedFailure, addr.Channel, addr.Chip, addr.Block)
 	}
-	bs.erases++
-	if a.cfg.EraseEndurance > 0 && bs.erases > a.cfg.EraseEndurance {
+	bs.erases.Add(1)
+	if a.cfg.EraseEndurance > 0 && int(bs.erases.Load()) > a.cfg.EraseEndurance {
 		return fmt.Errorf("%w: chip %d/%d block %d", ErrWornOut, addr.Channel, addr.Chip, addr.Block)
 	}
+	// Replace (never zero) the page buffers: readers that fetched a slice
+	// from ReadPage before the erase keep a stable view of the old contents.
 	for i := range bs.data {
 		bs.data[i] = nil
 		bs.oob[i] = nil
 	}
-	bs.nextPage = 0
+	bs.nextPage.Store(0)
 	a.erases.Add(1)
 	return nil
 }
@@ -431,21 +442,23 @@ func (a *Array) EraseBlock(p PPN) error {
 // ProgrammedPages returns how many pages of the block containing p have
 // been programmed since the last erase (metadata query; no timing cost).
 // Recovery code uses it to re-synchronize append points after a crash.
+// Lock-free: safe to call while other actors operate on the chip.
 func (a *Array) ProgrammedPages(p PPN) int {
 	_, bs, _, err := a.locate(p)
 	if err != nil {
 		return -1
 	}
-	return bs.nextPage
+	return int(bs.nextPage.Load())
 }
 
 // EraseCount returns how many times the block containing p has been erased.
+// Lock-free: safe to call while other actors operate on the chip.
 func (a *Array) EraseCount(p PPN) int {
 	_, bs, _, err := a.locate(p)
 	if err != nil {
 		return -1
 	}
-	return bs.erases
+	return int(bs.erases.Load())
 }
 
 // InjectEraseFailure makes the next erase of the block containing p fail,

@@ -134,6 +134,53 @@ func (t *Table) Put(key, val uint64) (probes int, existed bool, err error) {
 	return len(t.keys), false, ErrFull
 }
 
+// Upsert inserts or updates key in a single probe sequence and returns the
+// previous value when the key already existed. It is Get+Put fused: the
+// firmware's Put supersede path needs the old location to adjust valid-byte
+// accounting, and probing the table twice for it would double the charged
+// DRAM accesses (and the wall-clock work) of every update.
+func (t *Table) Upsert(key, val uint64) (old uint64, probes int, existed bool, err error) {
+	if t.AutoGrow && t.used+t.ghosts >= len(t.keys)*3/4 {
+		t.rehash(len(t.keys) * 2)
+	}
+	i := hash(key) & t.mask
+	firstFree := -1
+	for p := 1; p <= len(t.keys); p++ {
+		switch t.state[i] {
+		case slotEmpty:
+			if firstFree >= 0 {
+				i = uint64(firstFree)
+				t.ghosts--
+			}
+			t.keys[i] = key
+			t.vals[i] = val
+			t.state[i] = slotUsed
+			t.used++
+			return 0, p, false, nil
+		case slotTombstone:
+			if firstFree < 0 {
+				firstFree = int(i)
+			}
+		case slotUsed:
+			if t.keys[i] == key {
+				old = t.vals[i]
+				t.vals[i] = val
+				return old, p, true, nil
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+	if firstFree >= 0 {
+		t.keys[firstFree] = key
+		t.vals[firstFree] = val
+		t.state[firstFree] = slotUsed
+		t.ghosts--
+		t.used++
+		return 0, len(t.keys), false, nil
+	}
+	return 0, len(t.keys), false, ErrFull
+}
+
 // Delete removes key. probes is the number of slots scanned.
 func (t *Table) Delete(key uint64) (probes int, err error) {
 	i := hash(key) & t.mask

@@ -14,11 +14,40 @@
 // and serves the value from NVRAM or flash. A per-log garbage collector
 // reclaims blocks chosen by low erase count and low valid-byte count,
 // re-validating every scanned record against the index (§IV-E).
+//
+// # Lock hierarchy
+//
+// The firmware's metadata is sharded across a strict lock hierarchy so that
+// independent requests never serialize (§V-D; DESIGN.md "Lock hierarchy &
+// concurrency model"). Outer to inner:
+//
+//	d.mu   (RWMutex)  namespace map + family membership. Readers: per-op
+//	                  namespace lookup, flusher/GC index installs (which
+//	                  must see a frozen snapshot family). Writers: create/
+//	                  delete/snapshot namespace, legacy Crash.
+//	ns.mu  (RWMutex)  one per namespace: the mapping table, round-robin
+//	                  cursor, swap state. Get takes the read lock; Put, GC
+//	                  installs, and recovery take the write lock.
+//	lg.mu  (Mutex)    one per log: packer, pending records, sealed queue,
+//	                  append points, free lists, per-block valid-byte
+//	                  accounting. spaceCv (queue backpressure) rides on it.
+//	d.nvMu (Mutex)    the NVRAM region: staged values, batches, catalog,
+//	                  bad-block table.
+//
+// An actor may acquire locks only downward in that order, at most one
+// namespace lock and one log lock at a time (Put touches namespaces one
+// record at a time; valid-byte credits lock the owning log internally).
+// The key-lock table and the closed/crashed flags sit outside the
+// hierarchy: key locks are acquired with no other lock held, and the flags
+// are atomics. No actor holds ns.mu while waiting for queue space or free
+// blocks — that is what lets the flusher take ns.mu to install flash
+// locations while a Put is blocked on backpressure.
 package kamlssd
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/kaml-ssd/kaml/internal/flash"
@@ -84,7 +113,11 @@ type Device struct {
 	ctrl *nvme.Controller
 	eng  *sim.Engine
 
-	mu *sim.Mutex // guards all firmware metadata (namespaces, logs, nvram)
+	// mu guards the namespace map and family membership (see the package
+	// comment for the full hierarchy). Installs hold the read lock for the
+	// whole multi-member swing so snapshot creation (a writer) can never
+	// observe — or miss — half an install.
+	mu *sim.RWMutex
 
 	namespaces map[uint32]*namespace
 
@@ -93,26 +126,34 @@ type Device struct {
 	// nv is the battery-backed region: staged values, batch commit
 	// markers, the namespace catalog, and the bad-block table. It is the
 	// only firmware state that survives a power cut (see recover.go).
+	// nvMu is the innermost lock of the hierarchy; the NVRAM structure
+	// itself is lock-free because it must survive device teardown.
 	nv     *NVRAM
+	nvMu   *sim.Mutex
 	keyLks *keyLockTable
 
-	closed       bool
-	crashed      bool // power-cut: actors exit without draining
-	flushersLive int  // flusher actors still running; GC outlives them
+	closed       atomic.Bool
+	crashed      atomic.Bool  // power-cut: actors exit without draining
+	flushersLive atomic.Int64 // flusher actors still running; GC outlives them
 	stopped      *sim.WaitGroup
 
 	stats Stats
 }
 
-// Stats counts firmware activity.
+// Stats counts firmware activity. Internally every field is updated with
+// atomic adds — actors woken at the same virtual instant genuinely run in
+// parallel — and Stats() returns an atomically-loaded snapshot.
 type Stats struct {
 	Gets, Puts, PutRecords int64
 	NVRAMHits              int64 // Gets served from NVRAM
 	Programs               int64
 	GCCopies, GCErases     int64
-	IndexProbes            int64
-	BytesWritten           int64 // host payload bytes accepted
-	FlashBytesWritten      int64 // pages programmed x page size (write amp)
+	// IndexProbes counts mapping-table slots scanned. Put's supersede path
+	// is a single upsert (one probe sequence per record, not a Get+Put
+	// pair), so updates charge the same probes as lookups.
+	IndexProbes       int64
+	BytesWritten      int64 // host payload bytes accepted
+	FlashBytesWritten int64 // pages programmed x page size (write amp)
 
 	// Fault handling.
 	ProgramRetries int64 // failed programs rewritten to a fresh page
@@ -128,7 +169,14 @@ type Stats struct {
 
 // namespace is one key-value namespace.
 type namespace struct {
-	id      uint32
+	id uint32
+
+	// mu guards index, rr, and the swap state below. Get takes the read
+	// lock (lookups on different namespaces — and concurrent lookups on the
+	// same one — run in parallel); Put, installs, GC swings, and recovery
+	// take the write lock.
+	mu *sim.RWMutex
+
 	index   nsIndex
 	logIDs  []int
 	rr      int // round-robin cursor over logIDs
@@ -144,7 +192,14 @@ type namespace struct {
 	// writable namespaces, the origin's sequence at snapshot time for
 	// snapshots. Recovery uses it to rebuild a snapshot's point-in-time
 	// view from the raw flash scan (newest record with seq <= cutoff).
+	// Immutable after creation.
 	cutoff uint64
+
+	// pendingBatches counts Put batches that have validated this namespace
+	// but not yet committed or aborted. SnapshotNamespace waits for zero so
+	// a clone never captures a half-staged batch (batch atomicity would
+	// otherwise leak into the snapshot's point-in-time view).
+	pendingBatches atomic.Int64
 }
 
 // New builds a KAML device on the array and transport and starts its
@@ -170,17 +225,30 @@ func New(arr *flash.Array, ctrl *nvme.Controller, cfg Config) *Device {
 		namespaces: make(map[uint32]*namespace),
 		nv:         NewNVRAM(),
 	}
-	d.mu = d.eng.NewMutex("kaml")
-	d.keyLks = newKeyLockTable(d.eng, d.mu)
+	d.initLocks()
 	d.buildLogs()
 	d.startActors()
 	return d
 }
 
+// initLocks builds the device's lock hierarchy (shared by New, Recover,
+// Restore).
+func (d *Device) initLocks() {
+	d.mu = d.eng.NewRWMutex("kaml-dev")
+	d.nvMu = d.eng.NewMutex("kaml-nvram")
+	d.keyLks = newKeyLockTable(d.eng)
+}
+
+// newNamespace allocates the in-DRAM shell of a namespace, including its
+// index lock.
+func (d *Device) newNamespace(id uint32) *namespace {
+	return &namespace{id: id, mu: d.eng.NewRWMutex(fmt.Sprintf("kaml-ns%d", id))}
+}
+
 // startActors launches one flusher per log plus the GC actor.
 func (d *Device) startActors() {
 	d.stopped = d.eng.NewWaitGroup()
-	d.flushersLive = len(d.logs)
+	d.flushersLive.Store(int64(len(d.logs)))
 	for _, lg := range d.logs {
 		lg := lg
 		d.stopped.Add(1)
@@ -217,11 +285,42 @@ func (d *Device) Config() Config { return d.cfg }
 // model: NVRAM survives, everything else is rebuilt.
 func (d *Device) NVRAM() *NVRAM { return d.nv }
 
+// lookupNS resolves a namespace ID under the device read lock.
+func (d *Device) lookupNS(id uint32) (*namespace, error) {
+	d.mu.RLock()
+	ns, ok := d.namespaces[id]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoNamespace, id)
+	}
+	return ns, nil
+}
+
+// addStat atomically bumps one device counter.
+func addStat(p *int64, n int64) { atomic.AddInt64(p, n) }
+
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	s := &d.stats
+	return Stats{
+		Gets:               atomic.LoadInt64(&s.Gets),
+		Puts:               atomic.LoadInt64(&s.Puts),
+		PutRecords:         atomic.LoadInt64(&s.PutRecords),
+		NVRAMHits:          atomic.LoadInt64(&s.NVRAMHits),
+		Programs:           atomic.LoadInt64(&s.Programs),
+		GCCopies:           atomic.LoadInt64(&s.GCCopies),
+		GCErases:           atomic.LoadInt64(&s.GCErases),
+		IndexProbes:        atomic.LoadInt64(&s.IndexProbes),
+		BytesWritten:       atomic.LoadInt64(&s.BytesWritten),
+		FlashBytesWritten:  atomic.LoadInt64(&s.FlashBytesWritten),
+		ProgramRetries:     atomic.LoadInt64(&s.ProgramRetries),
+		ReadRetries:        atomic.LoadInt64(&s.ReadRetries),
+		BlocksRetired:      atomic.LoadInt64(&s.BlocksRetired),
+		RecoveredRecords:   atomic.LoadInt64(&s.RecoveredRecords),
+		ReplayedValues:     atomic.LoadInt64(&s.ReplayedValues),
+		DroppedUncommitted: atomic.LoadInt64(&s.DroppedUncommitted),
+		TornPagesSkipped:   atomic.LoadInt64(&s.TornPagesSkipped),
+	}
 }
 
 // PowerFail cuts power: the flash array stops accepting operations, the
@@ -231,32 +330,33 @@ func (d *Device) Stats() Stats {
 // background actors have exited.
 func (d *Device) PowerFail() {
 	d.arr.PowerOff()
-	d.mu.Lock()
-	d.noticePowerLossLocked()
-	d.mu.Unlock()
+	d.noticePowerLoss()
 }
 
 // AwaitHalt blocks until the device's background actors have exited.
 func (d *Device) AwaitHalt() { d.stopped.Wait() }
 
-// noticePowerLossLocked marks the device crashed after an actor observed
-// the array powered off, and wakes every actor blocked on queue space so
-// it can exit. Called with d.mu held; idempotent.
-func (d *Device) noticePowerLossLocked() {
-	if d.crashed {
+// noticePowerLoss marks the device crashed after an actor observed the
+// array powered off, and wakes every actor blocked on queue space so it
+// can exit. Idempotent. Callers must not hold any log mutex (the broadcast
+// takes each in turn so parked waiters cannot miss the wakeup).
+func (d *Device) noticePowerLoss() {
+	if d.crashed.Swap(true) {
 		return
 	}
-	d.crashed = true
-	d.closed = true
+	d.closed.Store(true)
 	for _, lg := range d.logs {
+		lg.mu.Lock()
 		lg.spaceCv.Broadcast()
+		lg.workCv.Broadcast()
+		lg.mu.Unlock()
 	}
 }
 
-// closedErrLocked returns the right error for an operation arriving after
-// the device stopped. Called with d.mu held.
-func (d *Device) closedErrLocked() error {
-	if d.crashed {
+// closedErr returns the right error for an operation arriving after the
+// device stopped.
+func (d *Device) closedErr() error {
+	if d.crashed.Load() {
 		return ErrPowerLoss
 	}
 	return ErrClosed
@@ -264,16 +364,15 @@ func (d *Device) closedErrLocked() error {
 
 // Close drains the logs and stops the background actors.
 func (d *Device) Close() {
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	if d.closed.Swap(true) {
 		return
 	}
-	d.closed = true
 	for _, lg := range d.logs {
+		lg.mu.Lock()
 		lg.spaceCv.Broadcast()
+		lg.workCv.Broadcast()
+		lg.mu.Unlock()
 	}
-	d.mu.Unlock()
 	d.stopped.Wait()
 }
 
@@ -288,15 +387,19 @@ func (d *Device) CreateNamespace(attrs NamespaceAttrs) (uint32, error) {
 	var err error
 	d.ctrl.Submit(func() {
 		d.ctrl.ComputeProbes(0)
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		if d.closed {
-			err = d.closedErrLocked()
+		if d.closed.Load() {
+			err = d.closedErr()
 			return
 		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.nvMu.Lock()
 		id = d.nv.nextNSID
 		d.nv.nextNSID++
-		ns := &namespace{id: id, index: newIndex(attrs.Index, capacity, d.cfg.AutoGrowIndex), cutoff: noCutoff}
+		d.nvMu.Unlock()
+		ns := d.newNamespace(id)
+		ns.index = newIndex(attrs.Index, capacity, d.cfg.AutoGrowIndex)
+		ns.cutoff = noCutoff
 		nLogs := attrs.NumLogs
 		if nLogs <= 0 || nLogs > len(d.logs) {
 			nLogs = len(d.logs) // by default all logs serve every namespace
@@ -305,10 +408,12 @@ func (d *Device) CreateNamespace(attrs NamespaceAttrs) (uint32, error) {
 			ns.logIDs = append(ns.logIDs, i)
 		}
 		d.namespaces[id] = ns
+		d.nvMu.Lock()
 		d.nv.putNS(nsMeta{
 			id: id, kind: attrs.Index, capacity: capacity,
 			numLogs: nLogs, cutoff: noCutoff,
 		})
+		d.nvMu.Unlock()
 	})
 	return id, err
 }
@@ -328,6 +433,7 @@ func (d *Device) DeleteNamespace(id uint32) error {
 		}
 		// Every record owned by the namespace stops being valid; fix up the
 		// per-block valid-byte accounting so GC victim scoring stays honest.
+		ns.mu.Lock()
 		if !ns.swapped {
 			ns.index.Range(func(key, val uint64) bool {
 				if loc := location(val); loc.isFlash() {
@@ -336,8 +442,11 @@ func (d *Device) DeleteNamespace(id uint32) error {
 				return true
 			})
 		}
+		ns.mu.Unlock()
 		delete(d.namespaces, id)
+		d.nvMu.Lock()
 		d.nv.deleteNS(id)
+		d.nvMu.Unlock()
 	})
 	return err
 }
@@ -345,11 +454,9 @@ func (d *Device) DeleteNamespace(id uint32) error {
 // SetNamespaceLogs retunes how many logs the namespace appends to,
 // the knob behind Fig. 8. n is clamped to [1, NumLogs].
 func (d *Device) SetNamespaceLogs(id uint32, n int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	ns, ok := d.namespaces[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoNamespace, id)
+	ns, err := d.lookupNS(id)
+	if err != nil {
+		return err
 	}
 	if n < 1 {
 		n = 1
@@ -357,21 +464,25 @@ func (d *Device) SetNamespaceLogs(id uint32, n int) error {
 	if n > len(d.logs) {
 		n = len(d.logs)
 	}
+	ns.mu.Lock()
 	ns.logIDs = ns.logIDs[:0]
 	for i := 0; i < n; i++ {
 		ns.logIDs = append(ns.logIDs, i)
 	}
 	ns.rr = 0
+	ns.mu.Unlock()
+	d.nvMu.Lock()
 	if m := d.nv.catalog[id]; m != nil {
 		m.numLogs = n
 	}
+	d.nvMu.Unlock()
 	return nil
 }
 
 // Namespaces returns the live namespace IDs (diagnostics).
 func (d *Device) Namespaces() []uint32 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	ids := make([]uint32, 0, len(d.namespaces))
 	for id := range d.namespaces {
 		ids = append(ids, id)
@@ -381,11 +492,14 @@ func (d *Device) Namespaces() []uint32 {
 
 // IndexLoadFactor reports the namespace mapping table's load factor.
 func (d *Device) IndexLoadFactor(id uint32) (float64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	ns, ok := d.namespaces[id]
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", ErrNoNamespace, id)
+	ns, err := d.lookupNS(id)
+	if err != nil {
+		return 0, err
+	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	if ns.swapped {
+		return 0, ErrSwappedOut
 	}
 	return ns.index.LoadFactor(), nil
 }

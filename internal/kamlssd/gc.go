@@ -21,34 +21,34 @@ const (
 func (d *Device) gcLoop() {
 	defer d.stopped.Done()
 	for {
-		d.mu.Lock()
 		// GC outlives Close until every flusher has drained: the final
 		// flushes may need GC to free blocks. A crash stops it immediately.
-		if d.crashed || (d.closed && d.flushersLive == 0) {
-			d.mu.Unlock()
+		if d.crashed.Load() || (d.closed.Load() && d.flushersLive.Load() == 0) {
 			return
 		}
 		var work *logState
 		for _, lg := range d.logs {
-			if lg.freeBlocks < d.cfg.GCLowWater {
+			lg.mu.Lock()
+			low := lg.freeBlocks < d.cfg.GCLowWater
+			lg.mu.Unlock()
+			if low {
 				work = lg
 				break
 			}
 		}
-		d.mu.Unlock()
 		if work == nil {
 			d.eng.Sleep(d.cfg.GCPoll)
 			continue
 		}
 		for {
-			d.mu.Lock()
-			done := work.freeBlocks >= d.cfg.GCHighWater || d.crashed
+			work.mu.Lock()
+			done := work.freeBlocks >= d.cfg.GCHighWater || d.crashed.Load()
 			var chipIdx, block int
 			ok := false
 			if !done {
 				chipIdx, block, ok = d.victim(work)
 			}
-			d.mu.Unlock()
+			work.mu.Unlock()
 			if done || !ok {
 				break
 			}
@@ -60,7 +60,7 @@ func (d *Device) gcLoop() {
 
 // victim picks the sealed block with the lowest combined score of valid
 // bytes and erase count ("low erase counts and small amounts of valid
-// data", §IV-E). Called with d.mu held.
+// data", §IV-E). Called with lg.mu held.
 func (d *Device) victim(lg *logState) (chipIdx, block int, ok bool) {
 	best := int64(1) << 62
 	for ci, lc := range lg.chips {
@@ -107,7 +107,8 @@ type gcRecord struct {
 }
 
 // collectBlock scans one victim block, relocates its live data, erases it,
-// and returns it to the log's free list.
+// and returns it to the log's free list. Called with no locks held; every
+// index check and install takes namespace locks per record.
 func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 	ch, chip := lg.chipAddr(chipIdx)
 	var live []gcRecord
@@ -122,15 +123,11 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 			if err == nil || !errors.Is(err, flash.ErrInjectedFailure) || tries >= maxReadRetries {
 				break
 			}
-			d.mu.Lock()
-			d.stats.ReadRetries++
-			d.mu.Unlock()
+			addStat(&d.stats.ReadRetries, 1)
 		}
 		if err != nil {
 			if errors.Is(err, flash.ErrPowerCut) {
-				d.mu.Lock()
-				d.noticePowerLossLocked()
-				d.mu.Unlock()
+				d.noticePowerLoss()
 				return
 			}
 			if errors.Is(err, flash.ErrInjectedFailure) {
@@ -146,26 +143,22 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 			continue // torn or garbage page: carries nothing live
 		}
 		if ptype == pageTypeIndex {
-			d.mu.Lock()
 			if d.indexPageLive(ppn) {
 				liveIndexPages = append(liveIndexPages, ppn)
 			}
-			d.mu.Unlock()
 			continue
 		}
 		placed, perr := record.Parse(data, oob, d.cfg.ChunkSize)
 		if perr != nil {
 			panic(fmt.Sprintf("kamlssd: GC parse %d: %v", ppn, perr))
 		}
-		d.mu.Lock()
 		for _, pl := range placed {
 			loc := flashLoc(ppn, pl.StartChunk, pl.NumChunks)
 			if d.recordLive(pl.Record, loc) {
 				live = append(live, gcRecord{rec: pl.Record, oldLoc: loc})
-				d.stats.GCCopies++
+				addStat(&d.stats.GCCopies, 1)
 			}
 		}
-		d.mu.Unlock()
 	}
 
 	// Feasibility: relocating this victim must fit the GC stream's
@@ -173,10 +166,10 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 	// already the least-live block, so infeasibility means the device is
 	// genuinely over-committed: even reclaiming the emptiest block cannot
 	// make forward progress. Fail loudly rather than losing data.
-	d.mu.Lock()
 	needPages := gcPagesNeeded(d, live, len(liveIndexPages))
+	lg.mu.Lock()
 	capacity := lg.gcCapacityPages()
-	d.mu.Unlock()
+	lg.mu.Unlock()
 	if needPages > capacity {
 		panic(fmt.Sprintf("kamlssd: device over-committed: log %d GC needs %d pages, has %d — reduce the working set or add over-provisioning",
 			lg.id, needPages, capacity))
@@ -189,40 +182,45 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 	first := d.arr.BlockPPN(ch, chip, block, 0)
 	if err := d.arr.EraseBlock(first); err != nil {
 		if errors.Is(err, flash.ErrPowerCut) {
-			d.mu.Lock()
-			d.noticePowerLossLocked()
-			d.mu.Unlock()
+			d.noticePowerLoss()
 			return
 		}
 		// Erase failure: take the block out of service permanently. The
 		// retirement is recorded in NVRAM so recovery never reuses it.
-		d.mu.Lock()
+		lg.mu.Lock()
 		lg.chips[chipIdx].blocks[block].retired = true
 		lg.chips[chipIdx].blocks[block].sealed = false
+		lg.mu.Unlock()
+		d.nvMu.Lock()
 		d.nv.retireBlock(first)
-		d.stats.BlocksRetired++
-		d.stats.GCErases++
-		d.mu.Unlock()
+		d.nvMu.Unlock()
+		addStat(&d.stats.BlocksRetired, 1)
+		addStat(&d.stats.GCErases, 1)
 		return
 	}
-	d.mu.Lock()
+	addStat(&d.stats.GCErases, 1)
+	lg.mu.Lock()
 	bm := &lg.chips[chipIdx].blocks[block]
 	bm.sealed = false
 	bm.validBytes = 0
-	d.stats.GCErases++
-	if bm.progFailed > 0 {
+	retire := bm.progFailed > 0
+	if retire {
 		// The block ate at least one program during its last life; retire
 		// it rather than risk further failures (conservative bad-block
 		// policy — the erase itself succeeded).
 		bm.retired = true
 		bm.progFailed = 0
-		d.nv.retireBlock(first)
-		d.stats.BlocksRetired++
 	} else {
 		lg.chips[chipIdx].free = append(lg.chips[chipIdx].free, block)
 		lg.freeBlocks++
 	}
-	d.mu.Unlock()
+	lg.mu.Unlock()
+	if retire {
+		d.nvMu.Lock()
+		d.nv.retireBlock(first)
+		d.nvMu.Unlock()
+		addStat(&d.stats.BlocksRetired, 1)
+	}
 }
 
 // gcPagesNeeded estimates how many fresh pages relocating the victim's
@@ -246,7 +244,7 @@ func gcPagesNeeded(d *Device, live []gcRecord, indexPages int) int {
 }
 
 // gcCapacityPages reports how many pages the GC stream can still program
-// without another erase. Called with d.mu held.
+// without another erase. Called with lg.mu held.
 func (lg *logState) gcCapacityPages() int {
 	pages := lg.freeBlocks * lg.d.fc.PagesPerBlock
 	if lg.activeGC != nil {
@@ -259,13 +257,19 @@ func (lg *logState) gcCapacityPages() int {
 // scanned record is live iff ANY member of its namespace family (the
 // origin plus its snapshots) still points exactly at the scanned location.
 // A swapped-out member is treated as live conservatively (keeping garbage
-// is safe; losing data is not). Called with d.mu held.
+// is safe; losing data is not). Takes the device read lock and each
+// member's read lock internally.
 func (d *Device) recordLive(rec record.Record, loc location) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for _, ns := range d.familyMembers(rec.Namespace) {
+		ns.mu.RLock()
 		if ns.swapped {
+			ns.mu.RUnlock()
 			return true // conservative: cannot check without loading
 		}
 		val, _, err := ns.index.Get(rec.Key)
+		ns.mu.RUnlock()
 		if err == nil && location(val) == loc {
 			return true
 		}
@@ -279,9 +283,9 @@ func (d *Device) recordLive(rec record.Record, loc location) bool {
 // power cut — the caller must then abandon the collection without erasing.
 func (d *Device) gcProgram(lg *logState, data, oob []byte) (flash.PPN, error) {
 	for {
-		d.mu.Lock()
+		lg.mu.Lock()
 		ppn, err := lg.nextPPN(true)
-		d.mu.Unlock()
+		lg.mu.Unlock()
 		if err != nil {
 			panic(fmt.Sprintf("kamlssd: GC of log %d cannot allocate: %v", lg.id, err))
 		}
@@ -290,20 +294,18 @@ func (d *Device) gcProgram(lg *logState, data, oob []byte) (flash.PPN, error) {
 			return ppn, nil
 		}
 		if errors.Is(perr, flash.ErrPowerCut) {
-			d.mu.Lock()
-			d.noticePowerLossLocked()
-			d.mu.Unlock()
+			d.noticePowerLoss()
 			return 0, perr
 		}
 		if !errors.Is(perr, flash.ErrInjectedFailure) {
 			panic(fmt.Sprintf("kamlssd: GC program: %v", perr))
 		}
-		d.mu.Lock()
-		d.stats.ProgramRetries++
-		if _, lc, b := d.blockOf(ppn); lc != nil {
+		addStat(&d.stats.ProgramRetries, 1)
+		if flg, lc, b := d.blockOf(ppn); lc != nil {
+			flg.mu.Lock()
 			lc.blocks[b].progFailed++
+			flg.mu.Unlock()
 		}
-		d.mu.Unlock()
 	}
 }
 
@@ -322,21 +324,29 @@ func (d *Device) relocateRecords(lg *logState, live []gcRecord) error {
 		if perr != nil {
 			return perr
 		}
-		d.mu.Lock()
-		d.stats.Programs++
-		d.stats.FlashBytesWritten += int64(d.fc.PageSize)
+		addStat(&d.stats.Programs, 1)
+		addStat(&d.stats.FlashBytesWritten, int64(d.fc.PageSize))
+		// Hold the device read lock across the install loop so snapshot
+		// creation can't observe a half-swung family (same reason as the
+		// flusher's install, log.go).
+		d.mu.RLock()
 		for _, g := range group {
 			newLoc := flashLoc(ppn, g.newChunk, g.oldLoc.nchunks())
 			moved := false
 			for _, ns := range d.familyMembers(g.rec.Namespace) {
+				ns.mu.Lock()
 				if ns.swapped {
+					ns.mu.Unlock()
 					continue
 				}
 				cur, _, err := ns.index.Get(g.rec.Key)
 				if err != nil || location(cur) != g.oldLoc {
+					ns.mu.Unlock()
 					continue // superseded mid-GC in this member
 				}
-				if _, _, err := ns.index.Put(g.rec.Key, uint64(newLoc)); err == nil {
+				_, _, err = ns.index.Put(g.rec.Key, uint64(newLoc))
+				ns.mu.Unlock()
+				if err == nil {
 					moved = true
 				}
 			}
@@ -345,7 +355,7 @@ func (d *Device) relocateRecords(lg *logState, live []gcRecord) error {
 				d.creditValid(newLoc)
 			}
 		}
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		group = nil
 		return nil
 	}
@@ -377,29 +387,36 @@ func (d *Device) relocateIndexPages(lg *logState, pages []flash.PPN) error {
 		if perr != nil {
 			return perr
 		}
-		d.mu.Lock()
-		d.stats.Programs++
+		addStat(&d.stats.Programs, 1)
+		d.mu.RLock()
 		for _, ns := range d.namespaces {
+			ns.mu.Lock()
 			for i, p := range ns.swapPages {
 				if p == old {
 					ns.swapPages[i] = ppn
 				}
 			}
+			ns.mu.Unlock()
 		}
-		d.mu.Unlock()
+		d.mu.RUnlock()
 	}
 	return nil
 }
 
 // indexPageLive reports whether a swapped-index page is still referenced.
-// Called with d.mu held.
+// Takes the device and namespace read locks internally.
 func (d *Device) indexPageLive(ppn flash.PPN) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for _, ns := range d.namespaces {
+		ns.mu.RLock()
 		for _, p := range ns.swapPages {
 			if p == ppn {
+				ns.mu.RUnlock()
 				return true
 			}
 		}
+		ns.mu.RUnlock()
 	}
 	return false
 }

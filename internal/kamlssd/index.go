@@ -26,6 +26,9 @@ const (
 type nsIndex interface {
 	Get(key uint64) (val uint64, probes int, err error)
 	Put(key, val uint64) (probes int, existed bool, err error)
+	// Upsert is Get+Put in one probe sequence: it stores val and returns
+	// the superseded value, so Put's hot path charges one lookup, not two.
+	Upsert(key, val uint64) (old uint64, probes int, existed bool, err error)
 	Delete(key uint64) (probes int, err error)
 	Range(fn func(key, val uint64) bool)
 	Len() int
@@ -87,6 +90,9 @@ type hashIdx struct {
 
 func (h *hashIdx) Get(key uint64) (uint64, int, error)    { return h.t.Get(key) }
 func (h *hashIdx) Put(key, val uint64) (int, bool, error) { return h.t.Put(key, val) }
+func (h *hashIdx) Upsert(key, val uint64) (uint64, int, bool, error) {
+	return h.t.Upsert(key, val)
+}
 func (h *hashIdx) Delete(key uint64) (int, error)         { return h.t.Delete(key) }
 func (h *hashIdx) Range(fn func(k, v uint64) bool)        { h.t.Range(fn) }
 func (h *hashIdx) Len() int                               { return h.t.Len() }
@@ -113,6 +119,16 @@ func (ti *treeIndex) Get(key uint64) (uint64, int, error) {
 func (ti *treeIndex) Put(key, val uint64) (int, bool, error) {
 	existed := ti.t.Put(key, val)
 	return ti.t.Depth(), existed, nil
+}
+
+func (ti *treeIndex) Upsert(key, val uint64) (uint64, int, bool, error) {
+	// The tree has no fused read-write op; one descent reads, the second
+	// writes, but both traverse the same root-to-leaf path so the charged
+	// probe count stays one tree depth.
+	old, err := ti.t.Get(key)
+	existed := err == nil
+	ti.t.Put(key, val)
+	return old, ti.t.Depth(), existed, nil
 }
 
 func (ti *treeIndex) Delete(key uint64) (int, error) {

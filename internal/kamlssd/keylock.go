@@ -8,9 +8,12 @@ import "github.com/kaml-ssd/kaml/internal/sim"
 // interleave their index updates. Locks are acquired in sorted order to
 // avoid firmware-level deadlock and released once the batch's NVRAM copies
 // and index entries are installed.
+//
+// The table owns its mutex and sits outside the device lock hierarchy:
+// lockAll/unlockAll are called with no other sim lock held, so a batch
+// blocked here never pins a namespace or log.
 type keyLockTable struct {
-	eng    *sim.Engine
-	mu     *sim.Mutex // the device mutex; waiters park on cv
+	mu     *sim.Mutex
 	cv     *sim.Cond
 	locked map[nskey]bool
 }
@@ -20,9 +23,9 @@ type nskey struct {
 	key uint64
 }
 
-func newKeyLockTable(eng *sim.Engine, mu *sim.Mutex) *keyLockTable {
+func newKeyLockTable(eng *sim.Engine) *keyLockTable {
+	mu := eng.NewMutex("kaml-keylocks")
 	return &keyLockTable{
-		eng:    eng,
 		mu:     mu,
 		cv:     eng.NewCond(mu),
 		locked: make(map[nskey]bool),
@@ -30,12 +33,13 @@ func newKeyLockTable(eng *sim.Engine, mu *sim.Mutex) *keyLockTable {
 }
 
 // lockAll acquires every key in keys, which must be sorted and free of
-// duplicates. Called with the device mutex held; may release and reacquire
-// it while waiting.
+// duplicates. Blocks until all are held; must be called with no other sim
+// lock held.
 func (t *keyLockTable) lockAll(keys []nskey) {
+	t.mu.Lock()
 	for i := 0; i < len(keys); {
 		if t.locked[keys[i]] {
-			t.cv.Wait() // another batch holds it; retry from scratch
+			t.cv.Wait() // another batch holds it; retry from the blocked key
 			// After waking, previously-acquired keys are still ours; only
 			// re-examine from the blocked key onward.
 			continue
@@ -43,12 +47,15 @@ func (t *keyLockTable) lockAll(keys []nskey) {
 		t.locked[keys[i]] = true
 		i++
 	}
+	t.mu.Unlock()
 }
 
-// unlockAll releases every key. Called with the device mutex held.
+// unlockAll releases every key and wakes blocked batches.
 func (t *keyLockTable) unlockAll(keys []nskey) {
+	t.mu.Lock()
 	for _, k := range keys {
 		delete(t.locked, k)
 	}
 	t.cv.Broadcast()
+	t.mu.Unlock()
 }

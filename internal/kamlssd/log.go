@@ -15,9 +15,15 @@ import (
 // pages awaiting program, and exactly one flusher actor — so each log is a
 // strictly sequential append stream, which is why the log count bounds the
 // device's concurrent program operations (the effect behind Fig. 8).
+//
+// Every field below mu is guarded by mu, the per-log lock of the device's
+// hierarchy (see device.go): Puts routed to different logs, and each log's
+// flusher, contend only here, never on a device-wide lock.
 type logState struct {
 	id int
 	d  *Device
+
+	mu *sim.Mutex
 
 	chips []*logChip
 
@@ -26,7 +32,8 @@ type logState struct {
 	packerBorn  time.Duration // virtual time the first record entered the packer
 	sealedQueue []sealedPage
 	inflight    *sealedPage // page the flusher is programming right now
-	spaceCv     *sim.Cond   // queue has room / device closed
+	spaceCv     *sim.Cond   // on mu: queue has room / device closed
+	workCv      *sim.Cond   // on mu: packer or queue non-empty / device closed
 
 	activeHost *appendPoint
 	activeGC   *appendPoint
@@ -75,7 +82,9 @@ func newLogState(d *Device, id int) *logState {
 		d:      d,
 		packer: record.NewPacker(d.fc.PageSize, d.cfg.ChunkSize),
 	}
-	lg.spaceCv = d.eng.NewCond(d.mu)
+	lg.mu = d.eng.NewMutex(fmt.Sprintf("kaml-log%d", id))
+	lg.spaceCv = d.eng.NewCond(lg.mu)
+	lg.workCv = d.eng.NewCond(lg.mu)
 	return lg
 }
 
@@ -101,7 +110,7 @@ func (lg *logState) chipAddr(chipIdx int) (channel, chip int) {
 const gcReserveBlocks = 2
 
 // nextPPN allocates the next sequential page of the stream (host or GC),
-// opening a fresh block when needed. Called with d.mu held.
+// opening a fresh block when needed. Called with lg.mu held.
 func (lg *logState) nextPPN(forGC bool) (flash.PPN, error) {
 	ap := &lg.activeHost
 	if forGC {
@@ -128,7 +137,8 @@ func (lg *logState) nextPPN(forGC bool) (flash.PPN, error) {
 	return ppn, nil
 }
 
-// openBlock pops a free block, rotating across the log's chips.
+// openBlock pops a free block, rotating across the log's chips. Called with
+// lg.mu held.
 func (lg *logState) openBlock() (*appendPoint, error) {
 	for tries := 0; tries < len(lg.chips); tries++ {
 		ci := lg.nextChip
@@ -148,27 +158,28 @@ func (lg *logState) openBlock() (*appendPoint, error) {
 }
 
 // sealPacker moves the open packer into the sealed queue, assigning its
-// flash page now so programs stay in block order. Blocks (releasing d.mu)
+// flash page now so programs stay in block order. Blocks (releasing lg.mu)
 // while the queue is full — this is the NVRAM backpressure that ties host
-// Put bandwidth to the log's append bandwidth. Called with d.mu held;
-// returns with d.mu held.
+// Put bandwidth to the log's append bandwidth. Called with lg.mu held and
+// no namespace lock (the flusher that drains the queue needs namespace
+// locks to install flash locations); returns with lg.mu held.
 func (lg *logState) sealPacker() {
 	for {
 		if lg.packer.Empty() {
 			return // another actor sealed it while we waited
 		}
-		if len(lg.sealedQueue) < lg.d.cfg.QueueDepthPerLog || lg.d.closed {
+		if len(lg.sealedQueue) < lg.d.cfg.QueueDepthPerLog || lg.d.closed.Load() {
 			break
 		}
 		lg.spaceCv.Wait()
 	}
-	if lg.d.crashed {
+	if lg.d.crashed.Load() {
 		// Power cut while waiting for queue space: leave the packer alone;
 		// its records survive in NVRAM and recovery replays them.
 		return
 	}
 	// Capture the page image and its pending descriptors atomically: the
-	// free-block wait below releases the device mutex, and records added to
+	// free-block wait below releases the log mutex, and records added to
 	// the fresh packer meanwhile must not leak into this sealed page.
 	data, bitmap := lg.packer.Finish()
 	oob := lg.d.buildOOB(bitmap, pageTypeRecord, data)
@@ -178,10 +189,10 @@ func (lg *logState) sealPacker() {
 	for err != nil {
 		// The log is out of erased blocks; wait for GC to reclaim some.
 		// (This is the paper's free-block watermark backpressure.)
-		lg.d.mu.Unlock()
+		lg.mu.Unlock()
 		lg.d.eng.Sleep(lg.d.cfg.GCPoll)
-		lg.d.mu.Lock()
-		if lg.d.crashed {
+		lg.mu.Lock()
+		if lg.d.crashed.Load() {
 			return // records stay in NVRAM for recovery
 		}
 		ppn, err = lg.nextPPN(false)
@@ -192,6 +203,7 @@ func (lg *logState) sealPacker() {
 		oob:     oob,
 		pending: pend,
 	})
+	lg.workCv.Signal() // wake an idle flusher
 }
 
 // flusherLoop programs sealed pages in order and installs flash locations.
@@ -199,36 +211,48 @@ func (lg *logState) sealPacker() {
 // longer than FlushPoll (the paper's "internal timer").
 func (d *Device) flusherLoop(lg *logState) {
 	defer func() {
-		d.mu.Lock()
-		d.flushersLive--
-		d.mu.Unlock()
+		d.flushersLive.Add(-1)
 		d.stopped.Done()
 	}()
 	for {
-		d.mu.Lock()
-		if d.crashed {
-			d.mu.Unlock()
+		if d.crashed.Load() {
+			return
+		}
+		lg.mu.Lock()
+		// Fully idle: block until a Put routes work here (or shutdown),
+		// rather than polling — idle flusher wakeups dominated the
+		// simulation's host CPU profile before.
+		for len(lg.sealedQueue) == 0 && lg.packer.Empty() && !d.closed.Load() {
+			lg.workCv.Wait()
+		}
+		if d.crashed.Load() {
+			lg.mu.Unlock()
 			return
 		}
 		if len(lg.sealedQueue) == 0 {
-			if !lg.packer.Empty() && d.eng.Now()-lg.packerBorn >= d.cfg.FlushPoll {
-				lg.sealPacker()
-			} else if d.closed {
-				if lg.packer.Empty() {
-					d.mu.Unlock()
-					return
-				}
+			if lg.packer.Empty() {
+				lg.mu.Unlock()
+				return // closed and fully drained
+			}
+			if d.closed.Load() || d.eng.Now()-lg.packerBorn >= d.cfg.FlushPoll {
 				lg.sealPacker()
 			} else {
-				d.mu.Unlock()
+				// Partially-filled page: give the batching timer its window.
+				lg.mu.Unlock()
 				d.eng.Sleep(d.cfg.FlushPoll)
 				continue
 			}
 		}
+		if len(lg.sealedQueue) == 0 {
+			// sealPacker bailed out (power cut, or a Put actor sealed and the
+			// queue already drained); re-evaluate from the top.
+			lg.mu.Unlock()
+			continue
+		}
 		sp := lg.sealedQueue[0]
 		lg.sealedQueue = lg.sealedQueue[1:]
 		lg.inflight = &sp
-		d.mu.Unlock()
+		lg.mu.Unlock()
 
 		err := d.arr.ProgramPage(sp.ppn, sp.data, sp.oob)
 		if err != nil && !isPageWritten(err) {
@@ -237,9 +261,7 @@ func (d *Device) flusherLoop(lg *logState) {
 			if errors.Is(err, flash.ErrPowerCut) {
 				// Power died mid-program. The records are safe in NVRAM;
 				// recovery replays them. Exit without installing anything.
-				d.mu.Lock()
-				d.noticePowerLossLocked()
-				d.mu.Unlock()
+				d.noticePowerLoss()
 				return
 			}
 			if !errors.Is(err, flash.ErrInjectedFailure) {
@@ -253,38 +275,43 @@ func (d *Device) flusherLoop(lg *logState) {
 			// program strictly in order — so it re-enters the back of the
 			// queue with a freshly allocated page. No data is lost: the
 			// values are still in NVRAM and the index still points there.
-			d.mu.Lock()
-			d.stats.ProgramRetries++
-			if _, lc, b := d.blockOf(sp.ppn); lc != nil {
+			addStat(&d.stats.ProgramRetries, 1)
+			lg.mu.Lock()
+			if flg, lc, b := d.blockOf(sp.ppn); lc != nil && flg == lg {
 				lc.blocks[b].progFailed++
 			}
 			ppn, aerr := lg.nextPPN(false)
 			for aerr != nil {
-				d.mu.Unlock()
+				lg.mu.Unlock()
 				d.eng.Sleep(d.cfg.GCPoll)
-				d.mu.Lock()
-				if d.crashed {
-					d.mu.Unlock()
+				if d.crashed.Load() {
 					return
 				}
+				lg.mu.Lock()
 				ppn, aerr = lg.nextPPN(false)
 			}
 			sp.ppn = ppn
 			lg.sealedQueue = append(lg.sealedQueue, sp)
 			lg.inflight = nil
-			d.mu.Unlock()
+			lg.mu.Unlock()
 			continue
 		}
 
-		d.mu.Lock()
-		d.stats.Programs++
-		d.stats.FlashBytesWritten += int64(d.fc.PageSize)
+		addStat(&d.stats.Programs, 1)
+		addStat(&d.stats.FlashBytesWritten, int64(d.fc.PageSize))
+		// Hold the device read lock across the whole install so namespace
+		// creation/snapshot (writers) observe either none or all of this
+		// page's index swings — a snapshot taken mid-install could otherwise
+		// clone an NVRAM location whose staging entry is about to be freed.
+		d.mu.RLock()
 		for _, pr := range sp.pending {
 			d.installFlashLoc(pr, sp.ppn)
 		}
+		d.mu.RUnlock()
+		lg.mu.Lock()
 		lg.inflight = nil
 		lg.spaceCv.Broadcast()
-		d.mu.Unlock()
+		lg.mu.Unlock()
 	}
 }
 
@@ -292,24 +319,25 @@ func (d *Device) flusherLoop(lg *logState) {
 // from the NVRAM location to the flash location unless a newer version
 // superseded it while the page was in flight. Snapshots taken while the
 // record sat in NVRAM cloned the NVRAM location, so every family member's
-// entry is swung. Called with d.mu held.
+// entry is swung. Called with d.mu read-held and no namespace or log lock.
 func (d *Device) installFlashLoc(pr pendingRec, ppn flash.PPN) {
-	// Release the NVRAM copy — unless its batch has not committed yet, in
-	// which case the entry stays as an uncommitted marker so recovery knows
-	// this flash record belongs to an unfinished batch.
-	defer d.nv.installed(pr.seq)
 	nchunks := (pr.size + d.cfg.ChunkSize - 1) / d.cfg.ChunkSize
 	loc := flashLoc(ppn, pr.chunk, nchunks)
 	credited := false
 	for _, ns := range d.familyMembers(pr.ns) {
+		ns.mu.Lock()
 		if ns.swapped {
+			ns.mu.Unlock()
 			continue // snapshot swapped with an NVRAM loc cannot happen: swap drains first
 		}
 		cur, _, err := ns.index.Get(pr.key)
 		if err != nil || location(cur) != nvramLoc(pr.seq) {
+			ns.mu.Unlock()
 			continue // superseded in this member: its copy is dead on arrival
 		}
-		if _, _, err := ns.index.Put(pr.key, uint64(loc)); err != nil {
+		_, _, perr := ns.index.Put(pr.key, uint64(loc))
+		ns.mu.Unlock()
+		if perr != nil {
 			continue
 		}
 		if !credited {
@@ -317,29 +345,45 @@ func (d *Device) installFlashLoc(pr pendingRec, ppn flash.PPN) {
 			credited = true
 		}
 	}
+	// Release the NVRAM copy — unless its batch has not committed yet, in
+	// which case the entry stays as an uncommitted marker so recovery knows
+	// this flash record belongs to an unfinished batch.
+	d.nvMu.Lock()
+	d.nv.installed(pr.seq)
+	d.nvMu.Unlock()
 }
 
-// creditValid adds a record's footprint to its block's valid counter.
+// creditValid adds a record's footprint to its block's valid counter,
+// locking the owning log internally. Callers must hold no log mutex.
 func (d *Device) creditValid(loc location) {
-	_, lc, b := d.blockOf(loc.ppn())
-	if lc != nil {
-		lc.blocks[b].validBytes += int64(loc.nchunks() * d.cfg.ChunkSize)
+	lg, lc, b := d.blockOf(loc.ppn())
+	if lc == nil {
+		return
 	}
+	lg.mu.Lock()
+	lc.blocks[b].validBytes += int64(loc.nchunks() * d.cfg.ChunkSize)
+	lg.mu.Unlock()
 }
 
 // discountValid removes a record's footprint from its block's counter.
-// Locations carry their chunk count, so the accounting is exact.
+// Locations carry their chunk count, so the accounting is exact. Callers
+// must hold no log mutex.
 func (d *Device) discountValid(loc location) {
-	_, lc, b := d.blockOf(loc.ppn())
-	if lc != nil {
-		lc.blocks[b].validBytes -= int64(loc.nchunks() * d.cfg.ChunkSize)
-		if lc.blocks[b].validBytes < 0 {
-			lc.blocks[b].validBytes = 0
-		}
+	lg, lc, b := d.blockOf(loc.ppn())
+	if lc == nil {
+		return
 	}
+	lg.mu.Lock()
+	lc.blocks[b].validBytes -= int64(loc.nchunks() * d.cfg.ChunkSize)
+	if lc.blocks[b].validBytes < 0 {
+		lc.blocks[b].validBytes = 0
+	}
+	lg.mu.Unlock()
 }
 
-// blockOf maps a PPN to its owning log, chip, and block. Called with d.mu.
+// blockOf maps a PPN to its owning log, chip, and block. Pure address
+// arithmetic — callers touching the returned blockMeta must hold that
+// log's mutex.
 func (d *Device) blockOf(ppn flash.PPN) (*logState, *logChip, int) {
 	addr := d.arr.Decode(ppn)
 	global := addr.Channel*d.fc.ChipsPerChannel + addr.Chip

@@ -2,9 +2,34 @@ package kamlssd
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/kaml-ssd/kaml/internal/flash"
 )
+
+// stagingPool recycles NVRAM staging buffers. Buffers are allocated at the
+// device's max value size class on first use and re-sliced per value, so the
+// pool converges to a handful of page-sized byte slices per live batch.
+var stagingPool = sync.Pool{
+	New: func() any { return make([]byte, 0, 8192) },
+}
+
+// getStaging returns a pooled buffer holding a copy of val.
+func getStaging(val []byte) []byte {
+	buf := stagingPool.Get().([]byte)
+	if cap(buf) < len(val) {
+		buf = make([]byte, 0, len(val))
+	}
+	return append(buf[:0], val...)
+}
+
+// putStaging recycles a staging buffer. Callers must not touch the slice
+// afterwards.
+func putStaging(buf []byte) {
+	if buf != nil {
+		stagingPool.Put(buf[:0])
+	}
+}
 
 // NVRAM models the device's battery-backed memory region (paper §III-C,
 // §IV-D: "the staging buffers are non-volatile"). Everything in it survives
@@ -25,10 +50,17 @@ import (
 //     and (for snapshots) the sequence cutoff that defines their view;
 //   - the bad-block table: blocks retired after program/erase failures.
 //
-// All access happens under the owning Device's mutex; NVRAM has no lock of
-// its own. The commit marker is modeled as a single atomic NVRAM write
-// (an 8-byte flag), the standard assumption for battery-backed commit
-// records.
+// All access happens under the owning Device's nvMu (the innermost lock of
+// the hierarchy — see device.go); NVRAM has no lock of its own because the
+// structure must survive device teardown and be handed to Recover. The
+// commit marker is modeled as a single atomic NVRAM write (an 8-byte flag),
+// the standard assumption for battery-backed commit records.
+//
+// Staged value buffers come from a pool: a value is copied in once at stage
+// time and the buffer is recycled when the entry is released (installed,
+// aborted, or dropped), so the steady-state Put path allocates nothing for
+// staging. Readers must copy out under nvMu — value() returns the pooled
+// buffer itself.
 type NVRAM struct {
 	nextNSID  uint32
 	nvSeq     uint64
@@ -100,7 +132,7 @@ func (nv *NVRAM) beginBatch() uint64 {
 func (nv *NVRAM) stage(ns uint32, key uint64, val []byte, batch uint64) uint64 {
 	nv.nvSeq++
 	seq := nv.nvSeq
-	nv.values[seq] = &nvEntry{ns: ns, key: key, val: append([]byte(nil), val...), batch: batch}
+	nv.values[seq] = &nvEntry{ns: ns, key: key, val: getStaging(val), batch: batch}
 	b := nv.batches[batch]
 	b.seqs = append(b.seqs, seq)
 	b.remaining++
@@ -118,6 +150,7 @@ func (nv *NVRAM) commitBatch(batch uint64) {
 	for _, seq := range b.seqs {
 		if e := nv.values[seq]; e != nil && e.installed {
 			delete(nv.values, seq)
+			putStaging(e.val)
 			b.remaining--
 		}
 	}
@@ -135,7 +168,10 @@ func (nv *NVRAM) abortBatch(batch uint64) {
 		return
 	}
 	for _, seq := range b.seqs {
-		delete(nv.values, seq)
+		if e := nv.values[seq]; e != nil {
+			delete(nv.values, seq)
+			putStaging(e.val)
+		}
 		nv.aborted[seq] = struct{}{}
 	}
 	delete(nv.batches, batch)
@@ -155,6 +191,7 @@ func (nv *NVRAM) installed(seq uint64) {
 		return
 	}
 	delete(nv.values, seq)
+	putStaging(e.val)
 	if b != nil {
 		b.remaining--
 		if b.remaining == 0 {
@@ -201,8 +238,9 @@ func (nv *NVRAM) dropUncommitted() int {
 			continue
 		}
 		for _, seq := range b.seqs {
-			if _, ok := nv.values[seq]; ok {
+			if e, ok := nv.values[seq]; ok {
 				delete(nv.values, seq)
+				putStaging(e.val)
 				dropped++
 			}
 			nv.aborted[seq] = struct{}{}
@@ -221,6 +259,7 @@ func (nv *NVRAM) finish(seq uint64) {
 		return
 	}
 	delete(nv.values, seq)
+	putStaging(e.val)
 	if b := nv.batches[e.batch]; b != nil {
 		b.remaining--
 		if b.remaining == 0 {

@@ -17,6 +17,8 @@ const maxReadRetries = 4
 
 // undoEntry remembers a key's pre-batch index state for atomic rollback.
 type undoEntry struct {
+	ns      *namespace
+	key     uint64
 	existed bool
 	oldVal  uint64
 	seq     uint64
@@ -33,138 +35,135 @@ type PutRecord struct {
 // Get retrieves the value stored under (nsID, key). The value is served
 // from NVRAM if the record's latest version has not reached flash yet,
 // otherwise from a flash page read (paper §III, Table I).
+//
+// The index lookup runs under the namespace's read lock only, so Gets on
+// different namespaces — and concurrent Gets on the same one — never
+// serialize on a device-wide lock (§V-D).
 func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 	var out []byte
 	var err error
 	d.ctrl.Submit(func() {
-		d.mu.Lock()
-		if d.closed {
-			err = d.closedErrLocked()
-			d.mu.Unlock()
+		if d.closed.Load() {
+			err = d.closedErr()
 			return
 		}
-		ns, ok := d.namespaces[nsID]
-		if !ok {
-			d.mu.Unlock()
-			err = fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
+		ns, lerr := d.lookupNS(nsID)
+		if lerr != nil {
+			err = lerr
 			return
 		}
-		if ns.swapped {
-			d.mu.Unlock()
-			if err = d.loadIndex(nsID); err != nil {
-				return
+		addStat(&d.stats.Gets, 1)
+
+		// lookup resolves the key's current location under ns.mu.RLock.
+		// Only the first probe sequence is charged (re-resolutions after a
+		// concurrent install or GC move retrace hot cache lines).
+		charged := false
+		lookup := func() (location, bool) {
+			for {
+				ns.mu.RLock()
+				if ns.swapped {
+					ns.mu.RUnlock()
+					if lerr := d.loadIndex(nsID); lerr != nil {
+						err = lerr
+						return 0, false
+					}
+					continue
+				}
+				val, probes, gerr := ns.index.Get(key)
+				ns.mu.RUnlock()
+				if !charged {
+					charged = true
+					addStat(&d.stats.IndexProbes, int64(probes))
+					d.ctrl.ComputeProbes(probes)
+				}
+				if gerr != nil {
+					err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+					return 0, false
+				}
+				return location(val), true
 			}
-			d.mu.Lock()
 		}
-		d.stats.Gets++
-		val, probes, gerr := ns.index.Get(key)
-		d.stats.IndexProbes += int64(probes)
-		if gerr != nil {
-			d.mu.Unlock()
-			d.ctrl.ComputeProbes(probes)
-			err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+		// nvValue copies a staged value out under the NVRAM lock (the
+		// buffer itself is pooled and may be recycled after release).
+		nvValue := func(loc location) ([]byte, bool) {
+			d.nvMu.Lock()
+			v, ok := d.nv.value(loc.seq())
+			if ok {
+				v = append([]byte(nil), v...)
+			}
+			d.nvMu.Unlock()
+			return v, ok
+		}
+
+		loc, ok := lookup()
+		if !ok {
 			return
 		}
-		loc := location(val)
 		if !loc.isFlash() {
 			// Logically committed but still in NVRAM; serve from the buffer.
-			if v, ok := d.nv.value(loc.seq()); ok {
-				out = append([]byte(nil), v...)
-				d.stats.NVRAMHits++
-				d.mu.Unlock()
-				d.ctrl.ComputeProbes(probes)
+			if v, hit := nvValue(loc); hit {
+				out = v
+				addStat(&d.stats.NVRAMHits, 1)
 				return
 			}
 			// The flusher installed the flash location between our index
 			// read and now; fall through with a fresh lookup.
-			val, _, gerr = ns.index.Get(key)
-			if gerr != nil {
-				d.mu.Unlock()
-				err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+			if loc, ok = lookup(); !ok {
 				return
 			}
-			loc = location(val)
 		}
-		d.mu.Unlock()
-		d.ctrl.ComputeProbes(probes)
 
-		// Optimistic read: the page read happens without the firmware lock,
+		// Optimistic read: the page read happens without any firmware lock,
 		// so GC may relocate the record (and erase or rewrite the block)
 		// mid-read. Re-validate the index afterwards and retry on movement —
 		// the firmware equivalent of the baseline's LBA-range locks, without
 		// their per-command cost (§V-B).
 		readRetries := 0
 		for attempt := 0; ; attempt++ {
+			if !loc.isFlash() {
+				// Moved back into NVRAM by a concurrent update.
+				if v, hit := nvValue(loc); hit {
+					out = v
+					return
+				}
+				if loc, ok = lookup(); !ok {
+					return
+				}
+				continue
+			}
 			data, _, rerr := d.arr.ReadPage(loc.ppn())
-			moved := false
-			if rerr == nil {
-				d.mu.Lock()
-				if cur, _, gerr2 := ns.index.Get(key); gerr2 == nil && location(cur) != loc {
-					loc = location(cur)
-					moved = true
-				}
-				d.mu.Unlock()
-				if moved && !loc.isFlash() {
-					// Moved back into NVRAM by a concurrent update.
-					d.mu.Lock()
-					if v, ok := d.nv.value(loc.seq()); ok {
-						out = append([]byte(nil), v...)
-						d.mu.Unlock()
-						return
-					}
-					cur, _, gerr2 := ns.index.Get(key)
-					d.mu.Unlock()
-					if gerr2 != nil {
-						err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
-						return
-					}
-					loc = location(cur)
-					continue
-				}
-				if moved {
-					continue
-				}
-			} else {
+			if rerr != nil {
 				// Either the block was erased under us (GC), power was cut,
 				// or the medium returned a transient read error (fault
 				// injection). A transient error retries the same location a
 				// few times; a relocation re-resolves through the index.
 				if errors.Is(rerr, flash.ErrPowerCut) {
-					d.mu.Lock()
-					d.noticePowerLossLocked()
-					d.mu.Unlock()
+					d.noticePowerLoss()
 					err = ErrPowerLoss
 					return
 				}
 				if errors.Is(rerr, flash.ErrInjectedFailure) && readRetries < maxReadRetries {
 					readRetries++
-					d.mu.Lock()
-					d.stats.ReadRetries++
-					d.mu.Unlock()
+					addStat(&d.stats.ReadRetries, 1)
 					continue
 				}
-				d.mu.Lock()
-				cur, _, gerr2 := ns.index.Get(key)
-				d.mu.Unlock()
-				if gerr2 != nil {
-					err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+				cur, ok2 := lookup()
+				if !ok2 {
 					return
 				}
-				if location(cur) == loc || attempt > 16 {
+				if cur == loc || attempt > 16 {
 					err = rerr
 					return
 				}
-				loc = location(cur)
-				if !loc.isFlash() {
-					d.mu.Lock()
-					if v, ok := d.nv.value(loc.seq()); ok {
-						out = append([]byte(nil), v...)
-						d.mu.Unlock()
-						return
-					}
-					d.mu.Unlock()
-					continue
-				}
+				loc = cur
+				continue
+			}
+			cur, ok2 := lookup()
+			if !ok2 {
+				return
+			}
+			if cur != loc {
+				loc = cur
 				continue
 			}
 			rec, derr := record.At(data, loc.chunk(), d.cfg.ChunkSize)
@@ -190,6 +189,11 @@ func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 // returns once the batch is logically committed: every value is in
 // battery-backed NVRAM and every index entry points at it. Flash programs
 // and the final index swing happen in the background (§IV-D phases 2–3).
+//
+// Per-key atomicity comes from the key-lock table; the namespace lock is
+// held per record (never across queue-space waits), so Puts to different
+// namespaces — or to the same namespace routed to different logs — only
+// serialize on the log they land on.
 func (d *Device) Put(batch []PutRecord) error {
 	if len(batch) == 0 {
 		return nil
@@ -220,32 +224,46 @@ func (d *Device) Put(batch []PutRecord) error {
 			}
 		}
 
-		d.mu.Lock()
-		if d.closed {
-			err = d.closedErrLocked()
-			d.mu.Unlock()
+		if d.closed.Load() {
+			err = d.closedErr()
 			return
 		}
-		// Validate namespaces before taking locks.
+		// Resolve and validate every namespace up front, and mark one
+		// in-flight batch per namespace so snapshot creation waits out
+		// half-staged batches (see SnapshotNamespace).
+		nss := make(map[uint32]*namespace, len(batch))
+		defer func() {
+			for _, ns := range nss {
+				ns.pendingBatches.Add(-1)
+			}
+		}()
 		for _, r := range batch {
-			ns, ok := d.namespaces[r.Namespace]
-			if !ok {
-				d.mu.Unlock()
-				err = fmt.Errorf("%w: %d", ErrNoNamespace, r.Namespace)
+			if _, ok := nss[r.Namespace]; ok {
+				continue
+			}
+			ns, lerr := d.lookupNS(r.Namespace)
+			if lerr != nil {
+				err = lerr
 				return
 			}
 			if ns.readonly {
-				d.mu.Unlock()
 				err = fmt.Errorf("%w: %d", ErrReadOnly, r.Namespace)
 				return
 			}
-			if ns.swapped {
-				d.mu.Unlock()
-				if err = d.loadIndex(r.Namespace); err != nil {
+			for {
+				ns.mu.RLock()
+				sw := ns.swapped
+				ns.mu.RUnlock()
+				if !sw {
+					break
+				}
+				if lerr := d.loadIndex(r.Namespace); lerr != nil {
+					err = lerr
 					return
 				}
-				d.mu.Lock()
 			}
+			ns.pendingBatches.Add(1)
+			nss[r.Namespace] = ns
 		}
 		d.keyLks.lockAll(keys)
 
@@ -257,56 +275,78 @@ func (d *Device) Put(batch []PutRecord) error {
 		// whole, which is what makes multi-record Put atomic. Old index
 		// values are remembered so a mid-batch failure (mapping table
 		// full, power cut) rolls back atomically.
+		d.nvMu.Lock()
 		batchID := d.nv.beginBatch()
+		d.nvMu.Unlock()
 		totalProbes := 0
 		newKeys := 0
 		undo := make([]undoEntry, 0, len(batch))
 		abort := func(aerr error) {
-			d.rollbackStaged(batch, undo)
+			d.rollbackStaged(undo)
+			d.nvMu.Lock()
 			d.nv.abortBatch(batchID)
+			d.nvMu.Unlock()
 			d.keyLks.unlockAll(keys)
-			d.mu.Unlock()
 			err = aerr
 		}
 		for _, r := range batch {
-			// sealPacker below may release d.mu while blocked on queue
-			// space; a power cut can land in that window. Acknowledging
+			// sealPacker below may release the log mutex while blocked on
+			// queue space; a power cut can land in that window. Acknowledging
 			// this batch after the cut would break crash consistency, so
 			// re-check before every record and again before the commit
 			// marker.
-			if d.crashed || !d.arr.Powered() {
-				d.noticePowerLossLocked()
+			if d.crashed.Load() || !d.arr.Powered() {
+				d.noticePowerLoss()
 				abort(ErrPowerLoss)
 				return
 			}
-			ns := d.namespaces[r.Namespace]
+			ns := nss[r.Namespace]
 
-			// Supersede bookkeeping for the previous version, if any.
-			old, probes, gerr := ns.index.Get(r.Key)
-			totalProbes += probes
-			if gerr != nil {
-				newKeys++
-			} else if location(old).isFlash() {
-				d.discountValid(location(old))
-			}
-
+			d.nvMu.Lock()
 			seq := d.nv.stage(r.Namespace, r.Key, r.Value, batchID)
-			rec := record.Record{Namespace: r.Namespace, Key: r.Key, Seq: seq, Value: r.Value}
-			if _, _, perr := ns.index.Put(r.Key, uint64(nvramLoc(seq))); perr != nil {
+			d.nvMu.Unlock()
+
+			// One upsert does the supersede lookup and the NVRAM-location
+			// install in a single probe sequence (the old Get+Put pair
+			// probed the table twice per update).
+			ns.mu.Lock()
+			old, probes, existed, perr := ns.index.Upsert(r.Key, uint64(nvramLoc(seq)))
+			if perr != nil {
+				ns.mu.Unlock()
 				// Mapping table full: atomicity demands all-or-nothing, so
 				// restore every already-staged entry to its previous value.
-				if gerr == nil && location(old).isFlash() {
-					d.creditValid(location(old)) // undo this record's discount
-				}
 				abort(fmt.Errorf("%w: ns %d", ErrIndexFull, r.Namespace))
 				return
 			}
-			undo = append(undo, undoEntry{existed: gerr == nil, oldVal: old, seq: seq})
-
-			lg := d.logs[ns.logIDs[ns.rr%len(ns.logIDs)]]
+			if existed && location(old).isFlash() {
+				d.discountValid(location(old))
+			}
+			lgID := ns.logIDs[ns.rr%len(ns.logIDs)]
 			ns.rr++
-			if !lg.packer.Fits(rec.EncodedSize()) {
-				lg.sealPacker() // may wait for queue space, releasing d.mu
+			ns.mu.Unlock()
+
+			totalProbes += probes
+			if !existed {
+				newKeys++
+			}
+			undo = append(undo, undoEntry{ns: ns, key: r.Key, existed: existed, oldVal: old, seq: seq})
+
+			rec := record.Record{Namespace: r.Namespace, Key: r.Key, Seq: seq, Value: r.Value}
+			lg := d.logs[lgID]
+			lg.mu.Lock()
+			// sealPacker may release lg.mu while blocked on queue space or
+			// free blocks, and another writer can refill the fresh packer in
+			// that window — so sealing does not guarantee the record fits on
+			// the next check. Loop until it does.
+			for !lg.packer.Fits(rec.EncodedSize()) {
+				lg.sealPacker()
+				if d.crashed.Load() {
+					// sealPacker bailed without draining; the packer may still
+					// be full, so the record cannot be routed. Abort the batch.
+					lg.mu.Unlock()
+					abort(ErrPowerLoss)
+					return
+				}
 			}
 			if lg.packer.Empty() {
 				lg.packerBorn = d.eng.Now()
@@ -318,22 +358,26 @@ func (d *Device) Put(batch []PutRecord) error {
 			})
 			if lg.packer.FreeChunks() == 0 {
 				lg.sealPacker()
+			} else {
+				lg.workCv.Signal() // arm the flusher's batching timer
 			}
-			d.stats.BytesWritten += int64(len(r.Value))
+			lg.mu.Unlock()
+			addStat(&d.stats.BytesWritten, int64(len(r.Value)))
 		}
-		if d.crashed || !d.arr.Powered() {
-			d.noticePowerLossLocked()
+		if d.crashed.Load() || !d.arr.Powered() {
+			d.noticePowerLoss()
 			abort(ErrPowerLoss)
 			return
 		}
 		// Commit point: one atomic NVRAM write. From here the batch
 		// survives any crash; the host is acknowledged after this.
+		d.nvMu.Lock()
 		d.nv.commitBatch(batchID)
-		d.stats.Puts++
-		d.stats.PutRecords += int64(len(batch))
-		d.stats.IndexProbes += int64(totalProbes)
+		d.nvMu.Unlock()
+		addStat(&d.stats.Puts, 1)
+		addStat(&d.stats.PutRecords, int64(len(batch)))
+		addStat(&d.stats.IndexProbes, int64(totalProbes))
 		d.keyLks.unlockAll(keys)
-		d.mu.Unlock()
 		// Put's index lookups run on the controller's lookup engine and
 		// overlap with the NVRAM DMA, so the charged CPU work is the fixed
 		// dispatch cost plus entry allocation for fresh keys (the cost that
@@ -349,22 +393,21 @@ func (d *Device) Put(batch []PutRecord) error {
 // Index entries are restored to their pre-batch values; records already
 // routed to a packer become garbage automatically because the flusher's
 // install CAS no longer matches, and the caller's abortBatch marks their
-// sequences so recovery never resurrects flash copies. Called with d.mu
-// held.
-func (d *Device) rollbackStaged(batch []PutRecord, undo []undoEntry) {
-	for i, u := range undo {
-		r := batch[i]
-		ns, ok := d.namespaces[r.Namespace]
-		if !ok {
-			continue
-		}
+// sequences so recovery never resurrects flash copies. The batch's key
+// locks are still held, so no concurrent Put can interleave.
+func (d *Device) rollbackStaged(undo []undoEntry) {
+	for _, u := range undo {
+		u.ns.mu.Lock()
 		if u.existed {
-			_, _, _ = ns.index.Put(r.Key, u.oldVal)
+			_, _, _ = u.ns.index.Put(u.key, u.oldVal)
+		} else {
+			_, _ = u.ns.index.Delete(u.key)
+		}
+		u.ns.mu.Unlock()
+		if u.existed {
 			if loc := location(u.oldVal); loc.isFlash() {
 				d.creditValid(loc) // undo the supersede discount
 			}
-		} else {
-			_, _ = ns.index.Delete(r.Key)
 		}
 	}
 }
@@ -375,9 +418,9 @@ func (d *Device) rollbackStaged(batch []PutRecord, undo []undoEntry) {
 // battery-backed).
 func (d *Device) Flush() {
 	for {
-		d.mu.Lock()
-		busy := d.nv.unflushed() > 0 && !d.crashed
-		d.mu.Unlock()
+		d.nvMu.Lock()
+		busy := d.nv.unflushed() > 0 && !d.crashed.Load()
+		d.nvMu.Unlock()
 		if !busy {
 			return
 		}
@@ -388,12 +431,12 @@ func (d *Device) Flush() {
 // Exists reports whether the key is present without transferring the value
 // (diagnostic helper; not a paper command).
 func (d *Device) Exists(nsID uint32, key uint64) (bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	ns, ok := d.namespaces[nsID]
-	if !ok {
-		return false, fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
+	ns, lerr := d.lookupNS(nsID)
+	if lerr != nil {
+		return false, lerr
 	}
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
 	if ns.swapped {
 		return false, ErrSwappedOut
 	}

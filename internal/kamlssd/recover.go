@@ -59,23 +59,22 @@ func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*D
 		namespaces: make(map[uint32]*namespace),
 		nv:         nv,
 	}
-	d.mu = d.eng.NewMutex("kaml")
-	d.keyLks = newKeyLockTable(d.eng, d.mu)
+	d.initLocks()
 	d.buildLogs()
 
-	// 1. Namespaces from the catalog (sorted for determinism).
+	// 1. Namespaces from the catalog (sorted for determinism). The scan
+	// (steps 1-4) is single-threaded — no actor runs until step 5 — so the
+	// indices, allocator, and stats need no locking here.
 	for _, m := range nv.sortedCatalog() {
 		nLogs := m.numLogs
 		if nLogs <= 0 || nLogs > len(d.logs) {
 			nLogs = len(d.logs)
 		}
-		ns := &namespace{
-			id:       m.id,
-			index:    newIndex(m.kind, m.capacity, cfg.AutoGrowIndex),
-			origin:   m.origin,
-			readonly: m.readonly,
-			cutoff:   m.cutoff,
-		}
+		ns := d.newNamespace(m.id)
+		ns.index = newIndex(m.kind, m.capacity, cfg.AutoGrowIndex)
+		ns.origin = m.origin
+		ns.readonly = m.readonly
+		ns.cutoff = m.cutoff
 		for i := 0; i < nLogs; i++ {
 			ns.logIDs = append(ns.logIDs, i)
 		}
@@ -235,34 +234,59 @@ func (d *Device) padBlock(lc *logChip, ch, chip, b int) error {
 // sequence order. A value newer than every flash copy re-enters the
 // affected indices at its NVRAM location and is re-staged into a packer;
 // one already durable or superseded everywhere is released.
+//
+// The flushers are already running, so this follows the normal lock
+// hierarchy: device read lock → namespace locks for the index swings, then
+// the routed log's mutex for the packer, NVRAM lock for bookkeeping.
 func (d *Device) replayNVRAM(best map[uint32]map[uint64]uint64) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, seq := range d.nv.pendingSeqs() {
+	d.nvMu.Lock()
+	seqs := d.nv.pendingSeqs()
+	d.nvMu.Unlock()
+	for _, seq := range seqs {
+		d.nvMu.Lock()
 		e := d.nv.values[seq]
 		e.installed = false // any pre-cut install died with the DRAM index
+		d.nvMu.Unlock()
 		var route *namespace
+		d.mu.RLock()
 		for _, ns := range d.familyMembersSorted(e.ns) {
 			if ns.cutoff < seq || best[ns.id][e.key] >= seq {
 				continue
 			}
-			if _, _, err := ns.index.Put(e.key, uint64(nvramLoc(seq))); err != nil {
-				return fmt.Errorf("kamlssd: recovery overflowed ns %d index: %w", ns.id, err)
+			ns.mu.Lock()
+			_, _, perr := ns.index.Put(e.key, uint64(nvramLoc(seq)))
+			ns.mu.Unlock()
+			if perr != nil {
+				d.mu.RUnlock()
+				return fmt.Errorf("kamlssd: recovery overflowed ns %d index: %w", ns.id, perr)
 			}
 			best[ns.id][e.key] = seq
 			if route == nil {
 				route = ns
 			}
 		}
+		d.mu.RUnlock()
 		if route == nil {
+			d.nvMu.Lock()
 			d.nv.finish(seq)
+			d.nvMu.Unlock()
 			continue
 		}
 		rec := record.Record{Namespace: e.ns, Key: e.key, Seq: seq, Value: e.val}
-		lg := d.logs[route.logIDs[route.rr%len(route.logIDs)]]
+		route.mu.Lock()
+		li := route.logIDs[route.rr%len(route.logIDs)]
 		route.rr++
-		if !lg.packer.Fits(rec.EncodedSize()) {
-			lg.sealPacker() // may release d.mu; flushers are already running
+		route.mu.Unlock()
+		lg := d.logs[li]
+		lg.mu.Lock()
+		// sealPacker may release lg.mu while waiting for queue space; loop
+		// until the record fits under a continuous hold.
+		for !lg.packer.Fits(rec.EncodedSize()) {
+			lg.sealPacker()
+			if d.crashed.Load() {
+				lg.mu.Unlock()
+				return ErrPowerLoss
+			}
 		}
 		if lg.packer.Empty() {
 			lg.packerBorn = d.eng.Now()
@@ -272,13 +296,15 @@ func (d *Device) replayNVRAM(best map[uint32]map[uint64]uint64) error {
 			ns: e.ns, key: e.key, seq: seq,
 			chunk: chunk, size: rec.EncodedSize(),
 		})
-		d.stats.ReplayedValues++
+		lg.workCv.Signal()
+		lg.mu.Unlock()
+		addStat(&d.stats.ReplayedValues, 1)
 	}
 	return nil
 }
 
 // familyMembersSorted is familyMembers with a deterministic order for
-// recovery. Called with no particular lock requirement beyond d.mu.
+// recovery. Called with d.mu held (read or write).
 func (d *Device) familyMembersSorted(root uint32) []*namespace {
 	out := d.familyMembers(root)
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })

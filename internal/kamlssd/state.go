@@ -27,16 +27,19 @@ func (d *Device) SwapOutIndex(nsID uint32) error {
 	// flash (the serialized location would dangle once the flusher installs
 	// the flash address). Swap targets idle namespaces (§IV-C), so drain
 	// and verify; concurrent writers make the namespace ineligible.
+	var blob []byte
+	var lg *logState
+	var ns *namespace
 	for attempt := 0; ; attempt++ {
 		d.Flush()
-		d.mu.Lock()
-		ns, ok := d.namespaces[nsID]
-		if !ok {
-			d.mu.Unlock()
-			return fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
+		var lerr error
+		ns, lerr = d.lookupNS(nsID)
+		if lerr != nil {
+			return lerr
 		}
+		ns.mu.RLock()
 		if ns.swapped {
-			d.mu.Unlock()
+			ns.mu.RUnlock()
 			return nil
 		}
 		dirty := false
@@ -48,23 +51,24 @@ func (d *Device) SwapOutIndex(nsID uint32) error {
 			return true
 		})
 		if !dirty {
-			break // d.mu still held below
+			// Serialize under the same read-lock hold as the cleanliness
+			// check so no write can slip in between.
+			blob = ns.index.Serialize()
+			capacity := ns.index.Capacity()
+			header := make([]byte, 24)
+			binary.LittleEndian.PutUint64(header[0:8], uint64(len(blob)))
+			binary.LittleEndian.PutUint64(header[8:16], uint64(capacity))
+			header[16] = byte(ns.index.Kind())
+			blob = append(header, blob...)
+			lg = d.logs[ns.logIDs[0]]
+			ns.mu.RUnlock()
+			break
 		}
-		d.mu.Unlock()
+		ns.mu.RUnlock()
 		if attempt > 8 {
 			return fmt.Errorf("kamlssd: namespace %d is being written; cannot swap out", nsID)
 		}
 	}
-	ns := d.namespaces[nsID]
-	blob := ns.index.Serialize()
-	capacity := ns.index.Capacity()
-	header := make([]byte, 24)
-	binary.LittleEndian.PutUint64(header[0:8], uint64(len(blob)))
-	binary.LittleEndian.PutUint64(header[8:16], uint64(capacity))
-	header[16] = byte(ns.index.Kind())
-	blob = append(header, blob...)
-	lg := d.logs[ns.logIDs[0]]
-	d.mu.Unlock()
 
 	var pages []flash.PPN
 	for off := 0; off < len(blob); off += d.fc.PageSize {
@@ -72,9 +76,9 @@ func (d *Device) SwapOutIndex(nsID uint32) error {
 		if end > len(blob) {
 			end = len(blob)
 		}
-		d.mu.Lock()
+		lg.mu.Lock()
 		ppn, err := lg.nextPPN(true)
-		d.mu.Unlock()
+		lg.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -84,80 +88,104 @@ func (d *Device) SwapOutIndex(nsID uint32) error {
 		pages = append(pages, ppn)
 	}
 
-	d.mu.Lock()
-	chunksPerPage := d.fc.PageSize / d.cfg.ChunkSize
-	for _, p := range pages {
-		d.creditValid(flashLoc(p, 0, chunksPerPage))
+	ns.mu.Lock()
+	if ns.swapped || ns.index == nil {
+		ns.mu.Unlock()
+		return nil // another actor swapped it while we programmed
+	}
+	// A write may have dirtied the index while the pages were programming;
+	// swapping now would lose it. Abandon this attempt (the programmed
+	// pages fail the liveness check and become garbage).
+	dirty := false
+	ns.index.Range(func(_, val uint64) bool {
+		if !location(val).isFlash() {
+			dirty = true
+			return false
+		}
+		return true
+	})
+	if dirty {
+		ns.mu.Unlock()
+		return fmt.Errorf("kamlssd: namespace %d is being written; cannot swap out", nsID)
 	}
 	ns.swapPages = pages
 	ns.swapped = true
 	ns.index = nil
-	d.mu.Unlock()
+	ns.mu.Unlock()
+	chunksPerPage := d.fc.PageSize / d.cfg.ChunkSize
+	for _, p := range pages {
+		d.creditValid(flashLoc(p, 0, chunksPerPage))
+	}
 	return nil
 }
 
-// loadIndex reads a swapped-out mapping table back into DRAM. Called
-// without d.mu held; concurrent loads of the same namespace serialize.
+// loadIndex reads a swapped-out mapping table back into DRAM. Called with
+// no locks held; concurrent loads of the same namespace serialize on the
+// loading flag.
 func (d *Device) loadIndex(nsID uint32) error {
 	for {
-		d.mu.Lock()
-		ns, ok := d.namespaces[nsID]
-		if !ok {
-			d.mu.Unlock()
-			return fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
+		ns, lerr := d.lookupNS(nsID)
+		if lerr != nil {
+			return lerr
 		}
+		ns.mu.Lock()
 		if !ns.swapped {
-			d.mu.Unlock()
+			ns.mu.Unlock()
 			return nil
 		}
 		if !ns.loading {
 			ns.loading = true
 			pages := append([]flash.PPN(nil), ns.swapPages...)
-			d.mu.Unlock()
-			return d.finishLoad(nsID, pages)
+			ns.mu.Unlock()
+			return d.finishLoad(ns, pages)
 		}
-		d.mu.Unlock()
+		ns.mu.Unlock()
 		d.eng.Sleep(d.cfg.FlushPoll) // another actor is loading; wait
 	}
 }
 
-func (d *Device) finishLoad(nsID uint32, pages []flash.PPN) error {
+func (d *Device) finishLoad(ns *namespace, pages []flash.PPN) (err error) {
+	defer func() {
+		if err != nil {
+			ns.mu.Lock()
+			ns.loading = false
+			ns.mu.Unlock()
+		}
+	}()
 	var blob []byte
 	for _, p := range pages {
-		data, _, err := d.arr.ReadPage(p)
-		if err != nil {
-			return fmt.Errorf("kamlssd: load index ns %d: %w", nsID, err)
+		data, _, rerr := d.arr.ReadPage(p)
+		if rerr != nil {
+			return fmt.Errorf("kamlssd: load index ns %d: %w", ns.id, rerr)
 		}
 		blob = append(blob, data...)
 	}
 	if len(blob) < 24 {
-		return fmt.Errorf("kamlssd: load index ns %d: short blob", nsID)
+		return fmt.Errorf("kamlssd: load index ns %d: short blob", ns.id)
 	}
 	total := binary.LittleEndian.Uint64(blob[0:8])
 	capacity := binary.LittleEndian.Uint64(blob[8:16])
 	kind := IndexKind(blob[16])
 	if uint64(len(blob)-24) < total {
-		return fmt.Errorf("kamlssd: load index ns %d: truncated blob", nsID)
+		return fmt.Errorf("kamlssd: load index ns %d: truncated blob", ns.id)
 	}
 	// Rebuild at the original capacity so load-factor behaviour persists.
-	tbl, err := deserializeIndex(kind, blob[24:24+total], int(capacity), d.cfg.AutoGrowIndex)
-	if err != nil {
-		return fmt.Errorf("kamlssd: load index ns %d: %w", nsID, err)
+	tbl, derr := deserializeIndex(kind, blob[24:24+total], int(capacity), d.cfg.AutoGrowIndex)
+	if derr != nil {
+		return fmt.Errorf("kamlssd: load index ns %d: %w", ns.id, derr)
 	}
 
-	d.mu.Lock()
-	ns, ok := d.namespaces[nsID]
-	if ok {
-		chunksPerPage := d.fc.PageSize / d.cfg.ChunkSize
-		for _, p := range ns.swapPages {
-			d.discountValid(flashLoc(p, 0, chunksPerPage))
-		}
-		ns.index = tbl
-		ns.swapped = false
-		ns.loading = false
-		ns.swapPages = nil
+	ns.mu.Lock()
+	swapPages := ns.swapPages
+	ns.index = tbl
+	ns.swapped = false
+	ns.loading = false
+	ns.swapPages = nil
+	ns.mu.Unlock()
+	chunksPerPage := d.fc.PageSize / d.cfg.ChunkSize
+	for _, p := range swapPages {
+		d.discountValid(flashLoc(p, 0, chunksPerPage))
 	}
-	d.mu.Unlock()
 	return nil
 }
 
@@ -204,8 +232,13 @@ type logChipSnapshot struct {
 // DRAM snapshot. In-flight flash programs are abandoned (sealed pages stay
 // queued in the snapshot; Restore's flushers replay them, tolerating pages
 // the pre-crash program already completed). The device is unusable after.
+//
+// The snapshot is cut under the device write lock, which excludes flusher
+// and GC installs (they hold the read lock); each namespace and log is then
+// frozen under its own lock while copied.
 func (d *Device) Crash() *State {
 	d.mu.Lock()
+	d.nvMu.Lock()
 	st := &State{
 		NextNSID: d.nv.nextNSID,
 		NVSeq:    d.nv.nvSeq,
@@ -214,7 +247,9 @@ func (d *Device) Crash() *State {
 	for k, e := range d.nv.values {
 		st.NVRAM[k] = append([]byte(nil), e.val...)
 	}
+	d.nvMu.Unlock()
 	for _, ns := range d.namespaces {
+		ns.mu.RLock()
 		snap := nsSnapshot{
 			id:        ns.id,
 			logIDs:    append([]int(nil), ns.logIDs...),
@@ -229,9 +264,13 @@ func (d *Device) Crash() *State {
 			snap.indexCap = ns.index.Capacity()
 			snap.indexKind = ns.index.Kind()
 		}
+		ns.mu.RUnlock()
 		st.NS = append(st.NS, snap)
 	}
+	d.closed.Store(true)
+	d.crashed.Store(true)
 	for _, lg := range d.logs {
+		lg.mu.Lock()
 		ls := logSnapshot{
 			packerRecs: append([]pendingRec(nil), lg.pending...),
 			activeHost: cloneAppend(lg.activeHost),
@@ -262,11 +301,9 @@ func (d *Device) Crash() *State {
 			})
 		}
 		st.Logs = append(st.Logs, ls)
-	}
-	d.closed = true
-	d.crashed = true
-	for _, lg := range d.logs {
 		lg.spaceCv.Broadcast()
+		lg.workCv.Broadcast()
+		lg.mu.Unlock()
 	}
 	d.mu.Unlock()
 	d.stopped.Wait()
@@ -297,19 +334,16 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 	}
 	d.nv.nextNSID = st.NextNSID
 	d.nv.nvSeq = st.NVSeq
-	d.mu = d.eng.NewMutex("kaml")
-	d.keyLks = newKeyLockTable(d.eng, d.mu)
+	d.initLocks()
 	d.buildLogs()
 	for _, snap := range st.NS {
-		ns := &namespace{
-			id:        snap.id,
-			logIDs:    append([]int(nil), snap.logIDs...),
-			swapped:   snap.swapped,
-			swapPages: append([]flash.PPN(nil), snap.swapPages...),
-			origin:    snap.origin,
-			readonly:  snap.readonly,
-			cutoff:    snap.cutoff,
-		}
+		ns := d.newNamespace(snap.id)
+		ns.logIDs = append([]int(nil), snap.logIDs...)
+		ns.swapped = snap.swapped
+		ns.swapPages = append([]flash.PPN(nil), snap.swapPages...)
+		ns.origin = snap.origin
+		ns.readonly = snap.readonly
+		ns.cutoff = snap.cutoff
 		d.nv.putNS(nsMeta{
 			id: snap.id, kind: snap.indexKind, capacity: snap.indexCap,
 			numLogs: len(snap.logIDs), origin: snap.origin,
@@ -354,7 +388,7 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 		d.nv.batches[d.nv.nextBatch] = b
 		for seq, v := range st.NVRAM {
 			in := info[seq]
-			d.nv.values[seq] = &nvEntry{ns: in.ns, key: in.key, val: append([]byte(nil), v...), batch: d.nv.nextBatch}
+			d.nv.values[seq] = &nvEntry{ns: in.ns, key: in.key, val: getStaging(v), batch: d.nv.nextBatch}
 			b.seqs = append(b.seqs, seq)
 			b.remaining++
 		}
