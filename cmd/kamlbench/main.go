@@ -11,7 +11,7 @@
 //	kamlbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	kamlbench -list            # list experiment IDs
 //
-// Experiment IDs: fig5 fig6 fig7 fig8 fig9 fig10 conflicts
+// Experiment IDs: fig5 fig6 fig7 fig8 fig9 fig10 conflicts ablations qdsweep
 //
 // Each figure cell is an independent simulation on its own virtual clock,
 // so -parallel changes wall-clock time only: the tables are identical at
@@ -52,6 +52,7 @@ func catalog() []experiment {
 		{"fig10", "YCSB A/B/C/D/F, KAML vs Shore-MT", wrap1(experiments.Fig10)},
 		{"conflicts", "locking-granularity conflict analysis (§V-D.2)", wrap1(experiments.Conflicts)},
 		{"ablations", "extra ablations: checkpoint interference, lock-granularity sweep, write amplification", experiments.Ablations},
+		{"qdsweep", "queue-depth sweep: pipelined Get/Put scaling and Put coalescing", wrap1(experiments.QDSweep)},
 	}
 }
 

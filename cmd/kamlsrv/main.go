@@ -1,5 +1,7 @@
 // Command kamlsrv exposes a simulated KAML SSD as a networked key-value
-// store speaking the kvproto text protocol.
+// store speaking kvproto: the line-oriented text protocol below, or the
+// framed pipelined v2 protocol for any connection whose first line is
+// "KVP2" (see internal/kvproto).
 //
 //	kamlsrv -addr 127.0.0.1:7040
 //
@@ -63,4 +65,6 @@ func main() {
 	st := dev.Stats()
 	log.Printf("final stats: gets=%d puts=%d put_records=%d programs=%d gc_erases=%d nvram_hits=%d program_retries=%d blocks_retired=%d",
 		st.Gets, st.Puts, st.PutRecords, st.Programs, st.GCErases, st.NVRAMHits, st.ProgramRetries, st.BlocksRetired)
+	log.Printf("pipeline stats: submitted=%d completed=%d coalesced_puts=%d coalescer_batches=%d coalescer_records=%d max_queue=%d mean_queue=%.2f",
+		st.PipelineSubmitted, st.PipelineCompleted, st.CoalescedPuts, st.CoalescerBatches, st.CoalescerRecords, st.PipelineMaxQueue, st.PipelineMeanQueue)
 }

@@ -1,0 +1,581 @@
+// Package cmdq implements the firmware's asynchronous command pipeline:
+// typed commands, a bounded submission queue with backpressure, completion
+// futures, and a per-namespace coalescer that merges small concurrent Puts
+// into multi-record batch commits.
+//
+// The paper's KAML interface is a set of NVMe vendor commands issued through
+// queue pairs; its headline numbers come from many outstanding commands
+// amortizing transport and flash latency. This package is the
+// device-internal half of that story: callers submit commands and receive a
+// Future immediately, worker actors execute them against the firmware, and
+// writes flow through a coalescer whose group-commit window turns N
+// concurrent single-record Puts into one multi-record NVRAM batch commit
+// (one commit marker, one completion charge — the write-coalescing design
+// the Host-SSD collaborative literature shows a concurrent KV store needs).
+//
+// # Backpressure
+//
+// Occupancy — commands accepted but not yet completed — is bounded by
+// Config.Depth. Submit parks the calling actor on a condition variable while
+// the pipeline is full, which is exactly the NVMe semantics of a full
+// submission queue: the host spins on the doorbell, it does not get an
+// error. Completions signal the queue-space condition, so waiters resume in
+// FIFO order and throughput degrades gracefully instead of failing.
+//
+// # Determinism
+//
+// Everything blocks on sim primitives (FIFO mutexes, condition variables,
+// wait groups) and the coalescer's group-commit window is a virtual-clock
+// sleep, so a given schedule of submissions always produces the same batch
+// boundaries, the same completion order, and the same stats. Coalescers are
+// woken in creation order on shutdown to keep even teardown schedules
+// reproducible (map iteration order would not be).
+package cmdq
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/sim"
+)
+
+// ErrClosed reports a command submitted after the pipeline shut down.
+// Pipelines embedded in a device usually override it via Config.ClosedErr.
+var ErrClosed = errors.New("cmdq: pipeline closed")
+
+// Op identifies a command type.
+type Op uint8
+
+// Command opcodes. OpPut and OpPutBatch route through the coalescer; all
+// other ops execute directly on a pipeline worker.
+const (
+	OpGet Op = iota + 1
+	OpPut
+	OpPutBatch
+	OpSnapshot
+	OpCreateNS
+	OpDeleteNS
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "Get"
+	case OpPut:
+		return "Put"
+	case OpPutBatch:
+		return "PutBatch"
+	case OpSnapshot:
+		return "Snapshot"
+	case OpCreateNS:
+		return "CreateNS"
+	case OpDeleteNS:
+		return "DeleteNS"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Record is one key-value record of a write command.
+type Record struct {
+	Namespace uint32
+	Key       uint64
+	Value     []byte
+}
+
+// Command is one typed request submitted to the pipeline. Get/Snapshot/
+// admin ops use Namespace and Key; writes carry Records (one for OpPut,
+// many for OpPutBatch).
+type Command struct {
+	Op        Op
+	Namespace uint32
+	Key       uint64
+	Records   []Record
+}
+
+// Result is a command's completion: the read value for Get, the created
+// namespace ID for Snapshot/CreateNS, and the terminal error if any.
+type Result struct {
+	Value     []byte
+	Namespace uint32
+	Err       error
+}
+
+// Future is a command's pending completion. Wait parks the calling actor on
+// the virtual clock until the command completes; it is safe to Wait from
+// multiple actors and to Wait repeatedly.
+type Future struct {
+	mu   *sim.Mutex
+	cv   *sim.Cond
+	done bool
+	res  Result
+}
+
+func newFuture(eng *sim.Engine) *Future {
+	f := &Future{mu: eng.NewMutex("cmdq-fut")}
+	f.cv = eng.NewCond(f.mu)
+	return f
+}
+
+// Resolved returns an already-completed future. Validation failures (and
+// no-op commands like an empty batch) resolve without ever occupying the
+// pipeline.
+func Resolved(eng *sim.Engine, res Result) *Future {
+	f := newFuture(eng)
+	f.done = true
+	f.res = res
+	return f
+}
+
+// Wait blocks the calling actor until the command completes and returns its
+// result.
+func (f *Future) Wait() Result {
+	f.mu.Lock()
+	for !f.done {
+		f.cv.Wait()
+	}
+	f.mu.Unlock()
+	return f.res
+}
+
+// Ready reports whether the command has already completed.
+func (f *Future) Ready() bool {
+	f.mu.Lock()
+	done := f.done
+	f.mu.Unlock()
+	return done
+}
+
+func (f *Future) complete(res Result) {
+	f.mu.Lock()
+	f.res = res
+	f.done = true
+	f.cv.Broadcast()
+	f.mu.Unlock()
+}
+
+// Config tunes a pipeline.
+type Config struct {
+	// Depth bounds occupancy (commands submitted but not completed);
+	// Submit blocks when the pipeline is full.
+	Depth int
+	// Workers is the number of executor actors (0 = min(Depth, 32)).
+	Workers int
+	// CoalesceWindow is how long the coalescer holds the first pending
+	// write hoping to merge more into the same batch commit (0 disables
+	// coalescing; writes then execute directly on a worker).
+	CoalesceWindow time.Duration
+	// MaxBatchRecords caps a merged batch (0 = 16). A single submitted
+	// batch larger than the cap still commits — atomicity forbids
+	// splitting — it just never merges with anything else.
+	MaxBatchRecords int
+	// CoalesceShards is the number of independent coalescer shards
+	// (0 = 4). Writes shard by the hash of their first record's
+	// (namespace, key), so concurrent group commits proceed in parallel
+	// while two writes to one key can never share a batch they'd conflict
+	// in (a shard's cut also dedups within itself).
+	CoalesceShards int
+	// ClosedErr is returned by commands rejected after Close (default
+	// ErrClosed). Fail overrides it with the poison error.
+	ClosedErr error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depth <= 0 {
+		c.Depth = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Depth
+		if c.Workers > 32 {
+			c.Workers = 32
+		}
+	}
+	if c.MaxBatchRecords <= 0 {
+		c.MaxBatchRecords = 16
+	}
+	if c.CoalesceShards <= 0 {
+		c.CoalesceShards = 4
+	}
+	if c.ClosedErr == nil {
+		c.ClosedErr = ErrClosed
+	}
+	return c
+}
+
+// Stats is a snapshot of pipeline activity.
+type Stats struct {
+	Submitted int64 // commands accepted into the pipeline
+	Completed int64 // commands whose future resolved
+	// CoalescedPuts counts write commands that shared a batch commit with
+	// at least one other command; BatchCommits/BatchRecords describe every
+	// commit issued by the coalescer (mean records per commit =
+	// BatchRecords / BatchCommits).
+	CoalescedPuts int64
+	BatchCommits  int64
+	BatchRecords  int64
+	// MaxOccupancy / MeanOccupancy describe queue depth actually reached
+	// (occupancy is sampled at each submission).
+	MaxOccupancy  int64
+	MeanOccupancy float64
+}
+
+// task pairs a queued command with its future.
+type task struct {
+	cmd *Command
+	fut *Future
+}
+
+// Pipeline is an asynchronous command pipeline over a single exec function.
+type Pipeline struct {
+	eng  *sim.Engine
+	cfg  Config
+	exec func(*Command) Result
+
+	mu      *sim.Mutex
+	notFull *sim.Cond // occupancy < Depth
+	work    *sim.Cond // direct queue non-empty, or shutdown
+	queue   []task    // direct (non-coalesced) commands, FIFO
+	occ     int
+
+	closing bool  // no new submissions; drain what was accepted
+	poison  error // non-nil: fail queued work instead of executing it
+
+	// coMap/coList index the coalescer shards; the slice keeps shutdown
+	// broadcasts in creation order for determinism.
+	coMap  map[int]*coalescer
+	coList []*coalescer
+
+	wg *sim.WaitGroup
+
+	// Stats. Updated under mu (pipeline state transitions already
+	// serialize on it) but stored atomically so Stats() never takes a sim
+	// lock — final-report paths read it from outside the simulation.
+	submitted, completed    atomic.Int64
+	coalescedPuts           atomic.Int64
+	batchCommits, batchRecs atomic.Int64
+	maxOcc                  atomic.Int64
+	occSum, occSamples      atomic.Int64
+}
+
+// New builds a pipeline and starts its worker actors. exec runs firmware
+// work for one command on a worker (or coalescer) actor and must not retain
+// the command. Close or Fail must be called before draining the simulation.
+func New(eng *sim.Engine, cfg Config, exec func(*Command) Result) *Pipeline {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{
+		eng:   eng,
+		cfg:   cfg,
+		exec:  exec,
+		mu:    eng.NewMutex("cmdq"),
+		coMap: make(map[int]*coalescer),
+		wg:    eng.NewWaitGroup(),
+	}
+	p.notFull = eng.NewCond(p.mu)
+	p.work = eng.NewCond(p.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		eng.Go(fmt.Sprintf("cmdq-worker%d", i), p.workerLoop)
+	}
+	return p
+}
+
+// Submit accepts a command and returns its completion future, blocking the
+// calling actor while the pipeline is at Depth outstanding commands. After
+// Close or Fail the returned future is already resolved with the shutdown
+// error.
+func (p *Pipeline) Submit(cmd *Command) *Future {
+	p.mu.Lock()
+	for p.occ >= p.cfg.Depth && !p.closing {
+		p.notFull.Wait()
+	}
+	if p.closing {
+		err := p.shutdownErrLocked()
+		p.mu.Unlock()
+		return Resolved(p.eng, Result{Err: err})
+	}
+	fut := newFuture(p.eng)
+	p.occ++
+	p.submitted.Add(1)
+	if int64(p.occ) > p.maxOcc.Load() {
+		p.maxOcc.Store(int64(p.occ))
+	}
+	p.occSum.Add(int64(p.occ))
+	p.occSamples.Add(1)
+	if (cmd.Op == OpPut || cmd.Op == OpPutBatch) && p.cfg.CoalesceWindow > 0 {
+		p.coalescerLocked(p.shardOf(cmd)).addLocked(task{cmd, fut})
+	} else {
+		p.queue = append(p.queue, task{cmd, fut})
+		p.work.Signal()
+	}
+	p.mu.Unlock()
+	return fut
+}
+
+// shardOf picks the coalescer shard for a write: the hash of the first
+// record's (namespace, key). Two writes to the same key always hash to the
+// same shard, where the cut-time duplicate check keeps them out of one
+// batch; writes to different keys spread across shards so group commits
+// execute in parallel. Batches shard whole (atomicity forbids splitting) —
+// a cross-shard batch merely merges less often, it is never wrong, because
+// every cut dedups against all records of its own pending batches.
+func (p *Pipeline) shardOf(cmd *Command) int {
+	ns, key := cmd.Namespace, cmd.Key
+	if len(cmd.Records) > 0 {
+		ns, key = cmd.Records[0].Namespace, cmd.Records[0].Key
+	}
+	// splitmix64 finalizer: a plain multiply leaves the low bits of the
+	// key intact, and strided key patterns then pin every writer to one
+	// shard (h%n sees only the low bits).
+	h := uint64(ns)*0x9e3779b9 ^ key
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(p.cfg.CoalesceShards))
+}
+
+func (p *Pipeline) shutdownErrLocked() error {
+	if p.poison != nil {
+		return p.poison
+	}
+	return p.cfg.ClosedErr
+}
+
+// finish resolves a completed command's future and releases its occupancy.
+// Called with p.mu NOT held.
+func (p *Pipeline) finishAll(tasks []task, results []Result) {
+	for i, t := range tasks {
+		t.fut.complete(results[i])
+	}
+	p.mu.Lock()
+	p.occ -= len(tasks)
+	p.completed.Add(int64(len(tasks)))
+	p.notFull.Broadcast()
+	p.mu.Unlock()
+}
+
+// workerLoop executes direct (non-coalesced) commands until shutdown.
+func (p *Pipeline) workerLoop() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		for len(p.queue) == 0 && !p.closing {
+			p.work.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		poison := p.poison
+		p.mu.Unlock()
+		var res Result
+		if poison != nil {
+			res = Result{Err: poison}
+		} else {
+			res = p.exec(t.cmd)
+		}
+		p.finishAll([]task{t}, []Result{res})
+		p.mu.Lock()
+	}
+}
+
+// coalescer merges pending writes for one shard into multi-record batch
+// commits. One flusher actor per shard, started lazily on the first write
+// it sees.
+type coalescer struct {
+	p     *Pipeline
+	shard int
+	cv    *sim.Cond // rides on p.mu: pending work or shutdown
+	pend  []task
+	born  time.Duration // arrival of the oldest pending write
+}
+
+// coalescerLocked returns (creating if needed) the shard. Caller holds
+// p.mu.
+func (p *Pipeline) coalescerLocked(shard int) *coalescer {
+	if c, ok := p.coMap[shard]; ok {
+		return c
+	}
+	c := &coalescer{p: p, shard: shard, cv: p.eng.NewCond(p.mu)}
+	p.coMap[shard] = c
+	p.coList = append(p.coList, c)
+	p.wg.Add(1)
+	p.eng.Go(fmt.Sprintf("cmdq-coalesce%d", shard), c.loop)
+	return c
+}
+
+// addLocked queues a write on the shard. Caller holds p.mu.
+func (c *coalescer) addLocked(t task) {
+	if len(c.pend) == 0 {
+		c.born = c.p.eng.Now()
+	}
+	c.pend = append(c.pend, t)
+	c.cv.Signal()
+}
+
+// loop is the shard's flusher actor: wait for a write, hold the group-commit
+// window open, then cut and commit one batch.
+func (c *coalescer) loop() {
+	p := c.p
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		for len(c.pend) == 0 && !p.closing {
+			c.cv.Wait()
+		}
+		if len(c.pend) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		// Group-commit window: give concurrent writers a chance to land in
+		// this batch. Shutdown flushes immediately — backpressured and
+		// drained commands must not wait on a window nobody will extend.
+		if p.poison == nil && !p.closing {
+			deadline := c.born + p.cfg.CoalesceWindow
+			for c.records() < p.cfg.MaxBatchRecords && !p.closing {
+				now := p.eng.Now()
+				if now >= deadline {
+					break
+				}
+				p.mu.Unlock()
+				p.eng.Sleep(deadline - now)
+				p.mu.Lock()
+			}
+		}
+		batch, tasks := c.cutLocked()
+		poison := p.poison
+		p.mu.Unlock()
+
+		var res Result
+		if poison != nil {
+			res = Result{Err: poison}
+		} else {
+			res = p.exec(&Command{Op: OpPutBatch, Records: batch})
+			p.batchCommits.Add(1)
+			p.batchRecs.Add(int64(len(batch)))
+			if len(tasks) > 1 {
+				p.coalescedPuts.Add(int64(len(tasks)))
+			}
+		}
+		results := make([]Result, len(tasks))
+		for i := range results {
+			results[i] = res
+		}
+		p.finishAll(tasks, results)
+		p.mu.Lock()
+	}
+}
+
+// records counts records currently pending on the shard. Caller holds p.mu.
+func (c *coalescer) records() int {
+	n := 0
+	for _, t := range c.pend {
+		n += len(t.cmd.Records)
+	}
+	return n
+}
+
+// cutLocked carves the next batch off the pending queue: a FIFO prefix
+// bounded by MaxBatchRecords that stays free of duplicate (namespace, key)
+// pairs — the firmware's atomic batch rejects duplicates, and an innocent
+// writer must never fail because a coalesced neighbor touched the same key.
+// An oversized submitted batch is taken alone (never split). Caller holds
+// p.mu.
+func (c *coalescer) cutLocked() ([]Record, []task) {
+	var (
+		batch []Record
+		seen  = make(map[uint64]map[uint64]bool) // ns -> key set
+		n     int
+	)
+	dup := func(recs []Record) bool {
+		for _, r := range recs {
+			if seen[uint64(r.Namespace)][r.Key] {
+				return true
+			}
+		}
+		return false
+	}
+	take := 0
+	for _, t := range c.pend {
+		recs := t.cmd.Records
+		if take > 0 && (n+len(recs) > c.p.cfg.MaxBatchRecords || dup(recs)) {
+			break
+		}
+		for _, r := range recs {
+			ks := seen[uint64(r.Namespace)]
+			if ks == nil {
+				ks = make(map[uint64]bool)
+				seen[uint64(r.Namespace)] = ks
+			}
+			ks[r.Key] = true
+			batch = append(batch, r)
+		}
+		n += len(recs)
+		take++
+		if n >= c.p.cfg.MaxBatchRecords {
+			break
+		}
+	}
+	tasks := append([]task(nil), c.pend[:take]...)
+	c.pend = c.pend[take:]
+	if len(c.pend) > 0 {
+		c.born = c.p.eng.Now() // restart the window for the remainder
+	}
+	return batch, tasks
+}
+
+// Close stops accepting commands, executes everything already accepted
+// (queued writes flush immediately, skipping their coalesce window), and
+// waits for the worker and coalescer actors to exit. Idempotent; call from
+// a simulation actor.
+func (p *Pipeline) Close() {
+	p.broadcastShutdown(nil)
+	p.wg.Wait()
+}
+
+// Fail poisons the pipeline: queued and future commands complete with err
+// instead of executing. Non-blocking (the power-loss path calls it from
+// actors that must not park); pair with Join to wait for actor exit.
+func (p *Pipeline) Fail(err error) {
+	p.broadcastShutdown(err)
+}
+
+func (p *Pipeline) broadcastShutdown(poison error) {
+	p.mu.Lock()
+	if poison != nil && p.poison == nil {
+		p.poison = poison
+	}
+	p.closing = true
+	p.work.Broadcast()
+	p.notFull.Broadcast()
+	for _, c := range p.coList {
+		c.cv.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// Join blocks until every pipeline actor has exited (they drain on Close,
+// bail out on Fail).
+func (p *Pipeline) Join() { p.wg.Wait() }
+
+// Stats returns a snapshot of pipeline counters. Lock-free, so it is safe
+// to call from outside the simulation (final reports after the engine has
+// drained).
+func (p *Pipeline) Stats() Stats {
+	s := Stats{
+		Submitted:     p.submitted.Load(),
+		Completed:     p.completed.Load(),
+		CoalescedPuts: p.coalescedPuts.Load(),
+		BatchCommits:  p.batchCommits.Load(),
+		BatchRecords:  p.batchRecs.Load(),
+		MaxOccupancy:  p.maxOcc.Load(),
+	}
+	if n := p.occSamples.Load(); n > 0 {
+		s.MeanOccupancy = float64(p.occSum.Load()) / float64(n)
+	}
+	return s
+}

@@ -1,0 +1,233 @@
+package cmdq
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/sim"
+)
+
+// execRecorder is a stub firmware: it sleeps a fixed cost per command and
+// remembers every batch size it was handed.
+type execRecorder struct {
+	eng     *sim.Engine
+	cost    time.Duration
+	mu      *sim.Mutex
+	batches [][]Record
+	calls   atomic.Int64
+}
+
+func newRecorder(eng *sim.Engine, cost time.Duration) *execRecorder {
+	return &execRecorder{eng: eng, cost: cost, mu: eng.NewMutex("rec")}
+}
+
+func (r *execRecorder) exec(cmd *Command) Result {
+	r.calls.Add(1)
+	if r.cost > 0 {
+		r.eng.Sleep(r.cost)
+	}
+	if cmd.Op == OpPutBatch {
+		r.mu.Lock()
+		r.batches = append(r.batches, append([]Record(nil), cmd.Records...))
+		r.mu.Unlock()
+	}
+	return Result{Value: []byte{byte(cmd.Key)}}
+}
+
+func TestFutureResolvesWithResult(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, 10*time.Microsecond)
+	p := New(eng, Config{Depth: 4}, rec.exec)
+	eng.Go("main", func() {
+		defer p.Close()
+		fut := p.Submit(&Command{Op: OpGet, Namespace: 1, Key: 7})
+		res := fut.Wait()
+		if res.Err != nil || len(res.Value) != 1 || res.Value[0] != 7 {
+			t.Errorf("res=%+v", res)
+		}
+		if !fut.Ready() {
+			t.Error("future not ready after Wait")
+		}
+	})
+	eng.Wait()
+}
+
+func TestBackpressureBoundsOccupancy(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, 100*time.Microsecond)
+	p := New(eng, Config{Depth: 2, Workers: 2}, rec.exec)
+	wg := eng.NewWaitGroup()
+	for i := 0; i < 6; i++ {
+		i := i
+		wg.Add(1)
+		eng.Go("sub", func() {
+			defer wg.Done()
+			res := p.Submit(&Command{Op: OpGet, Key: uint64(i)}).Wait()
+			if res.Err != nil {
+				t.Errorf("cmd %d: %v", i, res.Err)
+			}
+		})
+	}
+	eng.Go("main", func() {
+		wg.Wait()
+		st := p.Stats()
+		if st.MaxOccupancy > 2 {
+			t.Errorf("max occupancy %d > depth 2", st.MaxOccupancy)
+		}
+		if st.Submitted != 6 || st.Completed != 6 {
+			t.Errorf("submitted=%d completed=%d", st.Submitted, st.Completed)
+		}
+		p.Close()
+	})
+	eng.Wait()
+}
+
+func TestCoalescerMergesConcurrentPuts(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, 20*time.Microsecond)
+	p := New(eng, Config{
+		Depth: 32, Workers: 4,
+		CoalesceWindow:  10 * time.Microsecond,
+		MaxBatchRecords: 16,
+	}, rec.exec)
+	wg := eng.NewWaitGroup()
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		eng.Go("put", func() {
+			defer wg.Done()
+			res := p.Submit(&Command{Op: OpPut, Records: []Record{
+				{Namespace: 1, Key: uint64(i), Value: []byte("v")},
+			}}).Wait()
+			if res.Err != nil {
+				t.Errorf("put %d: %v", i, res.Err)
+			}
+		})
+	}
+	eng.Go("main", func() {
+		wg.Wait()
+		st := p.Stats()
+		if st.BatchCommits == 0 {
+			t.Fatal("no batch commits")
+		}
+		if mean := float64(st.BatchRecords) / float64(st.BatchCommits); mean < 2 {
+			t.Errorf("mean batch size %.2f, want >= 2 (commits=%d records=%d)",
+				mean, st.BatchCommits, st.BatchRecords)
+		}
+		if st.CoalescedPuts == 0 {
+			t.Error("no puts were coalesced")
+		}
+		p.Close()
+	})
+	eng.Wait()
+}
+
+// Two writes to the same key must never land in one firmware batch (the
+// atomic batch rejects duplicate keys); the coalescer cuts between them.
+func TestCoalescerSplitsDuplicateKeys(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, 0)
+	p := New(eng, Config{
+		Depth: 8, CoalesceWindow: 10 * time.Microsecond, MaxBatchRecords: 16,
+	}, rec.exec)
+	wg := eng.NewWaitGroup()
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		eng.Go("put", func() {
+			defer wg.Done()
+			if res := p.Submit(&Command{Op: OpPut, Records: []Record{
+				{Namespace: 1, Key: 42, Value: []byte("same")},
+			}}).Wait(); res.Err != nil {
+				t.Errorf("put: %v", res.Err)
+			}
+		})
+	}
+	eng.Go("main", func() {
+		wg.Wait()
+		for _, b := range rec.batches {
+			seen := map[uint64]bool{}
+			for _, r := range b {
+				if seen[r.Key] {
+					t.Fatalf("duplicate key %d within one batch", r.Key)
+				}
+				seen[r.Key] = true
+			}
+		}
+		if len(rec.batches) != 3 {
+			t.Errorf("batches=%d want 3 (same key never merges)", len(rec.batches))
+		}
+		p.Close()
+	})
+	eng.Wait()
+}
+
+// A submitted batch above MaxBatchRecords commits alone: atomicity forbids
+// splitting it, and nothing merges on top.
+func TestOversizedBatchCommitsAlone(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, 0)
+	p := New(eng, Config{
+		Depth: 8, CoalesceWindow: 10 * time.Microsecond, MaxBatchRecords: 4,
+	}, rec.exec)
+	eng.Go("main", func() {
+		big := make([]Record, 6)
+		for i := range big {
+			big[i] = Record{Namespace: 1, Key: uint64(i), Value: []byte("v")}
+		}
+		if res := p.Submit(&Command{Op: OpPutBatch, Records: big}).Wait(); res.Err != nil {
+			t.Errorf("big batch: %v", res.Err)
+		}
+		if len(rec.batches) != 1 || len(rec.batches[0]) != 6 {
+			t.Errorf("batches=%v", rec.batches)
+		}
+		p.Close()
+	})
+	eng.Wait()
+}
+
+func TestCloseDrainsThenRejects(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, 50*time.Microsecond)
+	p := New(eng, Config{Depth: 8, CoalesceWindow: 5 * time.Microsecond}, rec.exec)
+	eng.Go("main", func() {
+		fut := p.Submit(&Command{Op: OpPut, Records: []Record{{Namespace: 1, Key: 1}}})
+		p.Close() // must execute the queued write, not drop it
+		if res := fut.Wait(); res.Err != nil {
+			t.Errorf("drained command failed: %v", res.Err)
+		}
+		if res := p.Submit(&Command{Op: OpGet, Key: 2}).Wait(); !errors.Is(res.Err, ErrClosed) {
+			t.Errorf("post-close submit: %v, want ErrClosed", res.Err)
+		}
+	})
+	eng.Wait()
+}
+
+func TestFailPoisonsQueuedCommands(t *testing.T) {
+	boom := errors.New("power lost")
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, time.Millisecond)
+	p := New(eng, Config{Depth: 8, Workers: 1}, rec.exec)
+	futs := make([]*Future, 3)
+	eng.Go("main", func() {
+		for i := range futs {
+			futs[i] = p.Submit(&Command{Op: OpGet, Key: uint64(i)})
+		}
+		eng.Sleep(10 * time.Microsecond) // let the worker start command 0
+		p.Fail(boom)
+		p.Join()
+		if res := futs[0].Wait(); res.Err != nil {
+			t.Errorf("in-flight command: %v, want success", res.Err)
+		}
+		for i := 1; i < 3; i++ {
+			if res := futs[i].Wait(); !errors.Is(res.Err, boom) {
+				t.Errorf("queued command %d: %v, want poison", i, res.Err)
+			}
+		}
+		if res := p.Submit(&Command{Op: OpGet}).Wait(); !errors.Is(res.Err, boom) {
+			t.Errorf("post-fail submit: %v, want poison", res.Err)
+		}
+	})
+	eng.Wait()
+}

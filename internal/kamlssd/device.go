@@ -50,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/kaml-ssd/kaml/internal/cmdq"
 	"github.com/kaml-ssd/kaml/internal/flash"
 	"github.com/kaml-ssd/kaml/internal/nvme"
 	"github.com/kaml-ssd/kaml/internal/record"
@@ -81,6 +82,16 @@ type Config struct {
 	GCHighWater      int
 	DefaultIndexCap  int  // default per-namespace mapping-table capacity
 	AutoGrowIndex    bool // let mapping tables grow (off for paper experiments)
+
+	// Command pipeline (internal/cmdq). PipelineDepth bounds outstanding
+	// commands (submission backpressure); PipelineWorkers sets the executor
+	// actor count (0 = min(depth, 32)); CoalesceWindow is the group-commit
+	// window merging concurrent Puts into one NVRAM batch commit, capped at
+	// MaxCoalesceRecords records.
+	PipelineDepth      int
+	PipelineWorkers    int
+	CoalesceWindow     time.Duration
+	MaxCoalesceRecords int
 }
 
 // DefaultConfig matches DESIGN.md §5: one log per channel by default.
@@ -95,6 +106,11 @@ func DefaultConfig(fc flash.Config) Config {
 		GCHighWater:      5,
 		DefaultIndexCap:  1 << 16,
 		AutoGrowIndex:    false,
+
+		PipelineDepth:      128,
+		PipelineWorkers:    0, // min(depth, 32)
+		CoalesceWindow:     5 * time.Microsecond,
+		MaxCoalesceRecords: 16,
 	}
 }
 
@@ -132,8 +148,14 @@ type Device struct {
 	nvMu   *sim.Mutex
 	keyLks *keyLockTable
 
+	// pipe is the asynchronous command pipeline: Get/Put/Snapshot commands
+	// are executed by its worker actors, small concurrent Puts are merged
+	// by its coalescer (see pipeline.go for the submission glue).
+	pipe *cmdq.Pipeline
+
 	closed       atomic.Bool
 	crashed      atomic.Bool  // power-cut: actors exit without draining
+	closeBegun   atomic.Bool  // Close entered; pipeline drain in progress
 	flushersLive atomic.Int64 // flusher actors still running; GC outlives them
 	stopped      *sim.WaitGroup
 
@@ -165,6 +187,16 @@ type Stats struct {
 	ReplayedValues     int64 // NVRAM values re-staged for flushing
 	DroppedUncommitted int64 // staged values of never-committed batches
 	TornPagesSkipped   int64 // pages failing OOB magic/CRC during the scan
+
+	// Command pipeline (internal/cmdq; sampled from the pipeline rather
+	// than updated by actors).
+	PipelineSubmitted int64 // commands accepted into the pipeline
+	PipelineCompleted int64 // commands whose completion resolved
+	CoalescedPuts     int64 // Put commands that shared a group commit
+	CoalescerBatches  int64 // batch commits issued by the coalescer
+	CoalescerRecords  int64 // records across those commits
+	PipelineMaxQueue  int64 // peak pipeline occupancy observed
+	PipelineMeanQueue float64
 }
 
 // namespace is one key-value namespace.
@@ -245,8 +277,16 @@ func (d *Device) newNamespace(id uint32) *namespace {
 	return &namespace{id: id, mu: d.eng.NewRWMutex(fmt.Sprintf("kaml-ns%d", id))}
 }
 
-// startActors launches one flusher per log plus the GC actor.
+// startActors launches the command pipeline, one flusher per log, and the
+// GC actor.
 func (d *Device) startActors() {
+	d.pipe = cmdq.New(d.eng, cmdq.Config{
+		Depth:           d.cfg.PipelineDepth,
+		Workers:         d.cfg.PipelineWorkers,
+		CoalesceWindow:  d.cfg.CoalesceWindow,
+		MaxBatchRecords: d.cfg.MaxCoalesceRecords,
+		ClosedErr:       ErrClosed,
+	}, d.execCommand)
 	d.stopped = d.eng.NewWaitGroup()
 	d.flushersLive.Store(int64(len(d.logs)))
 	for _, lg := range d.logs {
@@ -302,7 +342,16 @@ func addStat(p *int64, n int64) { atomic.AddInt64(p, n) }
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
 	s := &d.stats
+	ps := d.pipe.Stats()
 	return Stats{
+		PipelineSubmitted: ps.Submitted,
+		PipelineCompleted: ps.Completed,
+		CoalescedPuts:     ps.CoalescedPuts,
+		CoalescerBatches:  ps.BatchCommits,
+		CoalescerRecords:  ps.BatchRecords,
+		PipelineMaxQueue:  ps.MaxOccupancy,
+		PipelineMeanQueue: ps.MeanOccupancy,
+
 		Gets:               atomic.LoadInt64(&s.Gets),
 		Puts:               atomic.LoadInt64(&s.Puts),
 		PutRecords:         atomic.LoadInt64(&s.PutRecords),
@@ -333,8 +382,12 @@ func (d *Device) PowerFail() {
 	d.noticePowerLoss()
 }
 
-// AwaitHalt blocks until the device's background actors have exited.
-func (d *Device) AwaitHalt() { d.stopped.Wait() }
+// AwaitHalt blocks until the device's background actors — flushers, GC,
+// and the command pipeline — have exited.
+func (d *Device) AwaitHalt() {
+	d.stopped.Wait()
+	d.pipe.Join()
+}
 
 // noticePowerLoss marks the device crashed after an actor observed the
 // array powered off, and wakes every actor blocked on queue space so it
@@ -351,6 +404,13 @@ func (d *Device) noticePowerLoss() {
 		lg.workCv.Broadcast()
 		lg.mu.Unlock()
 	}
+	// Poison the command pipeline last: queued and future commands fail
+	// with ErrPowerLoss instead of executing, and submitters blocked on
+	// backpressure wake up. Non-blocking, so this is safe from any actor
+	// (including pipeline workers noticing the cut mid-command).
+	if d.pipe != nil {
+		d.pipe.Fail(ErrPowerLoss)
+	}
 }
 
 // closedErr returns the right error for an operation arriving after the
@@ -362,10 +422,20 @@ func (d *Device) closedErr() error {
 	return ErrClosed
 }
 
-// Close drains the logs and stops the background actors.
+// Close drains the command pipeline and the logs, then stops the
+// background actors. Commands accepted before Close still execute (the
+// coalescer flushes pending writes immediately); commands submitted after
+// fail with ErrClosed.
 func (d *Device) Close() {
-	if d.closed.Swap(true) {
+	if d.closeBegun.Swap(true) {
 		return
+	}
+	// Drain the pipeline first — d.closed stays false so queued commands
+	// execute rather than bounce, and the flushers stay alive to absorb
+	// the writes the drain stages.
+	d.pipe.Close()
+	if d.closed.Swap(true) {
+		return // power was cut during the drain; actors are already exiting
 	}
 	for _, lg := range d.logs {
 		lg.mu.Lock()

@@ -93,14 +93,14 @@ func (h *hashIdx) Put(key, val uint64) (int, bool, error) { return h.t.Put(key, 
 func (h *hashIdx) Upsert(key, val uint64) (uint64, int, bool, error) {
 	return h.t.Upsert(key, val)
 }
-func (h *hashIdx) Delete(key uint64) (int, error)         { return h.t.Delete(key) }
-func (h *hashIdx) Range(fn func(k, v uint64) bool)        { h.t.Range(fn) }
-func (h *hashIdx) Len() int                               { return h.t.Len() }
-func (h *hashIdx) Capacity() int                          { return h.t.Capacity() }
-func (h *hashIdx) LoadFactor() float64                    { return h.t.LoadFactor() }
-func (h *hashIdx) Serialize() []byte                      { return h.t.Serialize() }
-func (h *hashIdx) Clone() nsIndex                         { return &hashIdx{t: h.t.Clone()} }
-func (h *hashIdx) Kind() IndexKind                        { return IndexHash }
+func (h *hashIdx) Delete(key uint64) (int, error)  { return h.t.Delete(key) }
+func (h *hashIdx) Range(fn func(k, v uint64) bool) { h.t.Range(fn) }
+func (h *hashIdx) Len() int                        { return h.t.Len() }
+func (h *hashIdx) Capacity() int                   { return h.t.Capacity() }
+func (h *hashIdx) LoadFactor() float64             { return h.t.LoadFactor() }
+func (h *hashIdx) Serialize() []byte               { return h.t.Serialize() }
+func (h *hashIdx) Clone() nsIndex                  { return &hashIdx{t: h.t.Clone()} }
+func (h *hashIdx) Kind() IndexKind                 { return IndexHash }
 
 // treeIndex adapts btree.Tree to nsIndex. Probe counts are the tree depth
 // (each level is one DRAM node access).

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/kaml-ssd/kaml/internal/cmdq"
 	"github.com/kaml-ssd/kaml/internal/flash"
 	"github.com/kaml-ssd/kaml/internal/hashindex"
 	"github.com/kaml-ssd/kaml/internal/record"
@@ -36,153 +37,150 @@ type PutRecord struct {
 // from NVRAM if the record's latest version has not reached flash yet,
 // otherwise from a flash page read (paper §III, Table I).
 //
+// Get is a thin synchronous wrapper: SubmitGet hands the command to the
+// device's pipeline and Get parks on the future (see SubmitGet for the
+// asynchronous form).
+func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
+	res := d.SubmitGet(nsID, key).Wait()
+	return res.Value, res.Err
+}
+
+// execGet is the firmware's Get handler; it runs on a pipeline worker.
+//
 // The index lookup runs under the namespace's read lock only, so Gets on
 // different namespaces — and concurrent Gets on the same one — never
 // serialize on a device-wide lock (§V-D).
-func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
-	var out []byte
+func (d *Device) execGet(nsID uint32, key uint64) ([]byte, error) {
+	if d.closed.Load() {
+		return nil, d.closedErr()
+	}
+	ns, lerr := d.lookupNS(nsID)
+	if lerr != nil {
+		return nil, lerr
+	}
+	addStat(&d.stats.Gets, 1)
+
+	// lookup resolves the key's current location under ns.mu.RLock.
+	// Only the first probe sequence is charged (re-resolutions after a
+	// concurrent install or GC move retrace hot cache lines).
 	var err error
-	d.ctrl.Submit(func() {
-		if d.closed.Load() {
-			err = d.closedErr()
-			return
-		}
-		ns, lerr := d.lookupNS(nsID)
-		if lerr != nil {
-			err = lerr
-			return
-		}
-		addStat(&d.stats.Gets, 1)
-
-		// lookup resolves the key's current location under ns.mu.RLock.
-		// Only the first probe sequence is charged (re-resolutions after a
-		// concurrent install or GC move retrace hot cache lines).
-		charged := false
-		lookup := func() (location, bool) {
-			for {
-				ns.mu.RLock()
-				if ns.swapped {
-					ns.mu.RUnlock()
-					if lerr := d.loadIndex(nsID); lerr != nil {
-						err = lerr
-						return 0, false
-					}
-					continue
-				}
-				val, probes, gerr := ns.index.Get(key)
+	charged := false
+	lookup := func() (location, bool) {
+		for {
+			ns.mu.RLock()
+			if ns.swapped {
 				ns.mu.RUnlock()
-				if !charged {
-					charged = true
-					addStat(&d.stats.IndexProbes, int64(probes))
-					d.ctrl.ComputeProbes(probes)
-				}
-				if gerr != nil {
-					err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+				if lerr := d.loadIndex(nsID); lerr != nil {
+					err = lerr
 					return 0, false
-				}
-				return location(val), true
-			}
-		}
-		// nvValue copies a staged value out under the NVRAM lock (the
-		// buffer itself is pooled and may be recycled after release).
-		nvValue := func(loc location) ([]byte, bool) {
-			d.nvMu.Lock()
-			v, ok := d.nv.value(loc.seq())
-			if ok {
-				v = append([]byte(nil), v...)
-			}
-			d.nvMu.Unlock()
-			return v, ok
-		}
-
-		loc, ok := lookup()
-		if !ok {
-			return
-		}
-		if !loc.isFlash() {
-			// Logically committed but still in NVRAM; serve from the buffer.
-			if v, hit := nvValue(loc); hit {
-				out = v
-				addStat(&d.stats.NVRAMHits, 1)
-				return
-			}
-			// The flusher installed the flash location between our index
-			// read and now; fall through with a fresh lookup.
-			if loc, ok = lookup(); !ok {
-				return
-			}
-		}
-
-		// Optimistic read: the page read happens without any firmware lock,
-		// so GC may relocate the record (and erase or rewrite the block)
-		// mid-read. Re-validate the index afterwards and retry on movement —
-		// the firmware equivalent of the baseline's LBA-range locks, without
-		// their per-command cost (§V-B).
-		readRetries := 0
-		for attempt := 0; ; attempt++ {
-			if !loc.isFlash() {
-				// Moved back into NVRAM by a concurrent update.
-				if v, hit := nvValue(loc); hit {
-					out = v
-					return
-				}
-				if loc, ok = lookup(); !ok {
-					return
 				}
 				continue
 			}
-			data, _, rerr := d.arr.ReadPage(loc.ppn())
-			if rerr != nil {
-				// Either the block was erased under us (GC), power was cut,
-				// or the medium returned a transient read error (fault
-				// injection). A transient error retries the same location a
-				// few times; a relocation re-resolves through the index.
-				if errors.Is(rerr, flash.ErrPowerCut) {
-					d.noticePowerLoss()
-					err = ErrPowerLoss
-					return
-				}
-				if errors.Is(rerr, flash.ErrInjectedFailure) && readRetries < maxReadRetries {
-					readRetries++
-					addStat(&d.stats.ReadRetries, 1)
-					continue
-				}
-				cur, ok2 := lookup()
-				if !ok2 {
-					return
-				}
-				if cur == loc || attempt > 16 {
-					err = rerr
-					return
-				}
-				loc = cur
+			val, probes, gerr := ns.index.Get(key)
+			ns.mu.RUnlock()
+			if !charged {
+				charged = true
+				addStat(&d.stats.IndexProbes, int64(probes))
+				d.ctrl.ComputeProbes(probes)
+			}
+			if gerr != nil {
+				err = fmt.Errorf("%w: ns %d key %d", ErrKeyNotFound, nsID, key)
+				return 0, false
+			}
+			return location(val), true
+		}
+	}
+	// nvValue copies a staged value out under the NVRAM lock (the
+	// buffer itself is pooled and may be recycled after release).
+	nvValue := func(loc location) ([]byte, bool) {
+		d.nvMu.Lock()
+		v, ok := d.nv.value(loc.seq())
+		if ok {
+			v = append([]byte(nil), v...)
+		}
+		d.nvMu.Unlock()
+		return v, ok
+	}
+
+	loc, ok := lookup()
+	if !ok {
+		return nil, err
+	}
+	if !loc.isFlash() {
+		// Logically committed but still in NVRAM; serve from the buffer.
+		if v, hit := nvValue(loc); hit {
+			addStat(&d.stats.NVRAMHits, 1)
+			return v, nil
+		}
+		// The flusher installed the flash location between our index
+		// read and now; fall through with a fresh lookup.
+		if loc, ok = lookup(); !ok {
+			return nil, err
+		}
+	}
+
+	// Optimistic read: the page read happens without any firmware lock,
+	// so GC may relocate the record (and erase or rewrite the block)
+	// mid-read. Re-validate the index afterwards and retry on movement —
+	// the firmware equivalent of the baseline's LBA-range locks, without
+	// their per-command cost (§V-B).
+	readRetries := 0
+	for attempt := 0; ; attempt++ {
+		if !loc.isFlash() {
+			// Moved back into NVRAM by a concurrent update.
+			if v, hit := nvValue(loc); hit {
+				return v, nil
+			}
+			if loc, ok = lookup(); !ok {
+				return nil, err
+			}
+			continue
+		}
+		data, _, rerr := d.arr.ReadPage(loc.ppn())
+		if rerr != nil {
+			// Either the block was erased under us (GC), power was cut,
+			// or the medium returned a transient read error (fault
+			// injection). A transient error retries the same location a
+			// few times; a relocation re-resolves through the index.
+			if errors.Is(rerr, flash.ErrPowerCut) {
+				d.noticePowerLoss()
+				return nil, ErrPowerLoss
+			}
+			if errors.Is(rerr, flash.ErrInjectedFailure) && readRetries < maxReadRetries {
+				readRetries++
+				addStat(&d.stats.ReadRetries, 1)
 				continue
 			}
 			cur, ok2 := lookup()
 			if !ok2 {
-				return
+				return nil, err
 			}
-			if cur != loc {
-				loc = cur
-				continue
+			if cur == loc || attempt > 16 {
+				return nil, rerr
 			}
-			rec, derr := record.At(data, loc.chunk(), d.cfg.ChunkSize)
-			if derr != nil {
-				err = derr
-				return
-			}
-			// Snapshot namespaces share records written under their origin,
-			// so the on-flash header carries the family root's ID.
-			if rec.Namespace != familyRoot(ns) || rec.Key != key {
-				err = fmt.Errorf("kamlssd: index corruption: ns %d key %d resolved to ns %d key %d",
-					nsID, key, rec.Namespace, rec.Key)
-				return
-			}
-			out = rec.Value
-			return
+			loc = cur
+			continue
 		}
-	})
-	return out, err
+		cur, ok2 := lookup()
+		if !ok2 {
+			return nil, err
+		}
+		if cur != loc {
+			loc = cur
+			continue
+		}
+		rec, derr := record.At(data, loc.chunk(), d.cfg.ChunkSize)
+		if derr != nil {
+			return nil, derr
+		}
+		// Snapshot namespaces share records written under their origin,
+		// so the on-flash header carries the family root's ID.
+		if rec.Namespace != familyRoot(ns) || rec.Key != key {
+			return nil, fmt.Errorf("kamlssd: index corruption: ns %d key %d resolved to ns %d key %d",
+				nsID, key, rec.Namespace, rec.Key)
+		}
+		return rec.Value, nil
+	}
 }
 
 // Put atomically inserts or updates a batch of records (Table I). The call
@@ -195,197 +193,185 @@ func (d *Device) Get(nsID uint32, key uint64) ([]byte, error) {
 // namespaces — or to the same namespace routed to different logs — only
 // serialize on the log they land on.
 func (d *Device) Put(batch []PutRecord) error {
-	if len(batch) == 0 {
-		return nil
-	}
-	maxVal := d.fc.PageSize - record.HeaderSize
+	return d.SubmitPut(batch).Wait().Err
+}
+
+// execPut is the firmware's atomic-batch handler. It runs on a pipeline
+// worker for a directly-dispatched batch, or on a coalescer actor for a
+// group commit carrying several merged Put commands (the records of one
+// merged command are contiguous, and the coalescer guarantees the merged
+// batch is free of duplicate keys).
+func (d *Device) execPut(batch []cmdq.Record) error {
+	// Phase 1a: lock every touched index entry, in sorted order.
+	keys := make([]nskey, 0, len(batch))
 	for _, r := range batch {
-		if len(r.Value) > maxVal {
-			return fmt.Errorf("%w: %d bytes", ErrValueTooLarge, len(r.Value))
+		keys = append(keys, nskey{ns: r.Namespace, key: r.Key})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ns != keys[j].ns {
+			return keys[i].ns < keys[j].ns
+		}
+		return keys[i].key < keys[j].key
+	})
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return fmt.Errorf("%w: duplicate key %d in batch", ErrBadBatch, keys[i].key)
 		}
 	}
-	var err error
-	d.ctrl.Submit(func() {
-		// Phase 1a: lock every touched index entry, in sorted order.
-		keys := make([]nskey, 0, len(batch))
-		for _, r := range batch {
-			keys = append(keys, nskey{ns: r.Namespace, key: r.Key})
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].ns != keys[j].ns {
-				return keys[i].ns < keys[j].ns
-			}
-			return keys[i].key < keys[j].key
-		})
-		for i := 1; i < len(keys); i++ {
-			if keys[i] == keys[i-1] {
-				err = fmt.Errorf("%w: duplicate key %d in batch", ErrBadBatch, keys[i].key)
-				return
-			}
-		}
 
-		if d.closed.Load() {
-			err = d.closedErr()
-			return
+	if d.closed.Load() {
+		return d.closedErr()
+	}
+	// Resolve and validate every namespace up front, and mark one
+	// in-flight batch per namespace so snapshot creation waits out
+	// half-staged batches (see SnapshotNamespace).
+	nss := make(map[uint32]*namespace, len(batch))
+	defer func() {
+		for _, ns := range nss {
+			ns.pendingBatches.Add(-1)
 		}
-		// Resolve and validate every namespace up front, and mark one
-		// in-flight batch per namespace so snapshot creation waits out
-		// half-staged batches (see SnapshotNamespace).
-		nss := make(map[uint32]*namespace, len(batch))
-		defer func() {
-			for _, ns := range nss {
-				ns.pendingBatches.Add(-1)
-			}
-		}()
-		for _, r := range batch {
-			if _, ok := nss[r.Namespace]; ok {
-				continue
-			}
-			ns, lerr := d.lookupNS(r.Namespace)
-			if lerr != nil {
-				err = lerr
-				return
-			}
-			if ns.readonly {
-				err = fmt.Errorf("%w: %d", ErrReadOnly, r.Namespace)
-				return
-			}
-			for {
-				ns.mu.RLock()
-				sw := ns.swapped
-				ns.mu.RUnlock()
-				if !sw {
-					break
-				}
-				if lerr := d.loadIndex(r.Namespace); lerr != nil {
-					err = lerr
-					return
-				}
-			}
-			ns.pendingBatches.Add(1)
-			nss[r.Namespace] = ns
+	}()
+	for _, r := range batch {
+		if _, ok := nss[r.Namespace]; ok {
+			continue
 		}
-		d.keyLks.lockAll(keys)
+		ns, lerr := d.lookupNS(r.Namespace)
+		if lerr != nil {
+			return lerr
+		}
+		if ns.readonly {
+			return fmt.Errorf("%w: %d", ErrReadOnly, r.Namespace)
+		}
+		for {
+			ns.mu.RLock()
+			sw := ns.swapped
+			ns.mu.RUnlock()
+			if !sw {
+				break
+			}
+			if lerr := d.loadIndex(r.Namespace); lerr != nil {
+				return lerr
+			}
+		}
+		ns.pendingBatches.Add(1)
+		nss[r.Namespace] = ns
+	}
+	d.keyLks.lockAll(keys)
 
-		// Phase 1b: stage every record in NVRAM under an open batch, point
-		// the index at the NVRAM copies, and route the records to logs.
-		// The batch is logically committed only when its NVRAM commit
-		// marker is written after the loop — a power cut at ANY earlier
-		// point leaves the batch uncommitted and recovery discards it
-		// whole, which is what makes multi-record Put atomic. Old index
-		// values are remembered so a mid-batch failure (mapping table
-		// full, power cut) rolls back atomically.
+	// Phase 1b: stage every record in NVRAM under an open batch, point
+	// the index at the NVRAM copies, and route the records to logs.
+	// The batch is logically committed only when its NVRAM commit
+	// marker is written after the loop — a power cut at ANY earlier
+	// point leaves the batch uncommitted and recovery discards it
+	// whole, which is what makes multi-record Put atomic. Old index
+	// values are remembered so a mid-batch failure (mapping table
+	// full, power cut) rolls back atomically.
+	d.nvMu.Lock()
+	batchID := d.nv.beginBatch()
+	d.nvMu.Unlock()
+	totalProbes := 0
+	newKeys := 0
+	undo := make([]undoEntry, 0, len(batch))
+	abort := func(aerr error) error {
+		d.rollbackStaged(undo)
 		d.nvMu.Lock()
-		batchID := d.nv.beginBatch()
+		d.nv.abortBatch(batchID)
 		d.nvMu.Unlock()
-		totalProbes := 0
-		newKeys := 0
-		undo := make([]undoEntry, 0, len(batch))
-		abort := func(aerr error) {
-			d.rollbackStaged(undo)
-			d.nvMu.Lock()
-			d.nv.abortBatch(batchID)
-			d.nvMu.Unlock()
-			d.keyLks.unlockAll(keys)
-			err = aerr
-		}
-		for _, r := range batch {
-			// sealPacker below may release the log mutex while blocked on
-			// queue space; a power cut can land in that window. Acknowledging
-			// this batch after the cut would break crash consistency, so
-			// re-check before every record and again before the commit
-			// marker.
-			if d.crashed.Load() || !d.arr.Powered() {
-				d.noticePowerLoss()
-				abort(ErrPowerLoss)
-				return
-			}
-			ns := nss[r.Namespace]
-
-			d.nvMu.Lock()
-			seq := d.nv.stage(r.Namespace, r.Key, r.Value, batchID)
-			d.nvMu.Unlock()
-
-			// One upsert does the supersede lookup and the NVRAM-location
-			// install in a single probe sequence (the old Get+Put pair
-			// probed the table twice per update).
-			ns.mu.Lock()
-			old, probes, existed, perr := ns.index.Upsert(r.Key, uint64(nvramLoc(seq)))
-			if perr != nil {
-				ns.mu.Unlock()
-				// Mapping table full: atomicity demands all-or-nothing, so
-				// restore every already-staged entry to its previous value.
-				abort(fmt.Errorf("%w: ns %d", ErrIndexFull, r.Namespace))
-				return
-			}
-			if existed && location(old).isFlash() {
-				d.discountValid(location(old))
-			}
-			lgID := ns.logIDs[ns.rr%len(ns.logIDs)]
-			ns.rr++
-			ns.mu.Unlock()
-
-			totalProbes += probes
-			if !existed {
-				newKeys++
-			}
-			undo = append(undo, undoEntry{ns: ns, key: r.Key, existed: existed, oldVal: old, seq: seq})
-
-			rec := record.Record{Namespace: r.Namespace, Key: r.Key, Seq: seq, Value: r.Value}
-			lg := d.logs[lgID]
-			lg.mu.Lock()
-			// sealPacker may release lg.mu while blocked on queue space or
-			// free blocks, and another writer can refill the fresh packer in
-			// that window — so sealing does not guarantee the record fits on
-			// the next check. Loop until it does.
-			for !lg.packer.Fits(rec.EncodedSize()) {
-				lg.sealPacker()
-				if d.crashed.Load() {
-					// sealPacker bailed without draining; the packer may still
-					// be full, so the record cannot be routed. Abort the batch.
-					lg.mu.Unlock()
-					abort(ErrPowerLoss)
-					return
-				}
-			}
-			if lg.packer.Empty() {
-				lg.packerBorn = d.eng.Now()
-			}
-			chunk := lg.packer.Add(rec)
-			lg.pending = append(lg.pending, pendingRec{
-				ns: r.Namespace, key: r.Key, seq: seq,
-				chunk: chunk, size: rec.EncodedSize(),
-			})
-			if lg.packer.FreeChunks() == 0 {
-				lg.sealPacker()
-			} else {
-				lg.workCv.Signal() // arm the flusher's batching timer
-			}
-			lg.mu.Unlock()
-			addStat(&d.stats.BytesWritten, int64(len(r.Value)))
-		}
+		d.keyLks.unlockAll(keys)
+		return aerr
+	}
+	for _, r := range batch {
+		// sealPacker below may release the log mutex while blocked on
+		// queue space; a power cut can land in that window. Acknowledging
+		// this batch after the cut would break crash consistency, so
+		// re-check before every record and again before the commit
+		// marker.
 		if d.crashed.Load() || !d.arr.Powered() {
 			d.noticePowerLoss()
-			abort(ErrPowerLoss)
-			return
+			return abort(ErrPowerLoss)
 		}
-		// Commit point: one atomic NVRAM write. From here the batch
-		// survives any crash; the host is acknowledged after this.
+		ns := nss[r.Namespace]
+
 		d.nvMu.Lock()
-		d.nv.commitBatch(batchID)
+		seq := d.nv.stage(r.Namespace, r.Key, r.Value, batchID)
 		d.nvMu.Unlock()
-		addStat(&d.stats.Puts, 1)
-		addStat(&d.stats.PutRecords, int64(len(batch)))
-		addStat(&d.stats.IndexProbes, int64(totalProbes))
-		d.keyLks.unlockAll(keys)
-		// Put's index lookups run on the controller's lookup engine and
-		// overlap with the NVRAM DMA, so the charged CPU work is the fixed
-		// dispatch cost plus entry allocation for fresh keys (the cost that
-		// makes Insert slower than Update in Figs. 5c/6c).
-		d.ctrl.Compute(d.ctrl.Config().FirmwareFixedCost +
-			time.Duration(newKeys)*d.ctrl.Config().InsertCost)
-	})
-	return err
+
+		// One upsert does the supersede lookup and the NVRAM-location
+		// install in a single probe sequence (the old Get+Put pair
+		// probed the table twice per update).
+		ns.mu.Lock()
+		old, probes, existed, perr := ns.index.Upsert(r.Key, uint64(nvramLoc(seq)))
+		if perr != nil {
+			ns.mu.Unlock()
+			// Mapping table full: atomicity demands all-or-nothing, so
+			// restore every already-staged entry to its previous value.
+			return abort(fmt.Errorf("%w: ns %d", ErrIndexFull, r.Namespace))
+		}
+		if existed && location(old).isFlash() {
+			d.discountValid(location(old))
+		}
+		lgID := ns.logIDs[ns.rr%len(ns.logIDs)]
+		ns.rr++
+		ns.mu.Unlock()
+
+		totalProbes += probes
+		if !existed {
+			newKeys++
+		}
+		undo = append(undo, undoEntry{ns: ns, key: r.Key, existed: existed, oldVal: old, seq: seq})
+
+		rec := record.Record{Namespace: r.Namespace, Key: r.Key, Seq: seq, Value: r.Value}
+		lg := d.logs[lgID]
+		lg.mu.Lock()
+		// sealPacker may release lg.mu while blocked on queue space or
+		// free blocks, and another writer can refill the fresh packer in
+		// that window — so sealing does not guarantee the record fits on
+		// the next check. Loop until it does.
+		for !lg.packer.Fits(rec.EncodedSize()) {
+			lg.sealPacker()
+			if d.crashed.Load() {
+				// sealPacker bailed without draining; the packer may still
+				// be full, so the record cannot be routed. Abort the batch.
+				lg.mu.Unlock()
+				return abort(ErrPowerLoss)
+			}
+		}
+		if lg.packer.Empty() {
+			lg.packerBorn = d.eng.Now()
+		}
+		chunk := lg.packer.Add(rec)
+		lg.pending = append(lg.pending, pendingRec{
+			ns: r.Namespace, key: r.Key, seq: seq,
+			chunk: chunk, size: rec.EncodedSize(),
+		})
+		if lg.packer.FreeChunks() == 0 {
+			lg.sealPacker()
+		} else {
+			lg.workCv.Signal() // arm the flusher's batching timer
+		}
+		lg.mu.Unlock()
+		addStat(&d.stats.BytesWritten, int64(len(r.Value)))
+	}
+	if d.crashed.Load() || !d.arr.Powered() {
+		d.noticePowerLoss()
+		return abort(ErrPowerLoss)
+	}
+	// Commit point: one atomic NVRAM write. From here the batch
+	// survives any crash; the host is acknowledged after this.
+	d.nvMu.Lock()
+	d.nv.commitBatch(batchID)
+	d.nvMu.Unlock()
+	addStat(&d.stats.Puts, 1)
+	addStat(&d.stats.PutRecords, int64(len(batch)))
+	addStat(&d.stats.IndexProbes, int64(totalProbes))
+	d.keyLks.unlockAll(keys)
+	// Put's index lookups run on the controller's lookup engine and
+	// overlap with the NVRAM DMA, so the charged CPU work is the fixed
+	// dispatch cost plus entry allocation for fresh keys (the cost that
+	// makes Insert slower than Update in Figs. 5c/6c).
+	d.ctrl.Compute(d.ctrl.Config().FirmwareFixedCost +
+		time.Duration(newKeys)*d.ctrl.Config().InsertCost)
+	return nil
 }
 
 // rollbackStaged undoes phase-1b staging for the already-staged prefix of

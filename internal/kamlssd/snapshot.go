@@ -27,105 +27,103 @@ var ErrReadOnly = errors.New("kamlssd: namespace is a read-only snapshot")
 // waits out in-flight Put batches touching the source so the clone never
 // captures a half-staged batch.
 func (d *Device) SnapshotNamespace(nsID uint32) (uint32, error) {
-	var snapID uint32
-	var err error
-	d.ctrl.Submit(func() {
-		if d.closed.Load() {
-			err = ErrClosed
-			return
-		}
-		src, lerr := d.lookupNS(nsID)
-		if lerr != nil {
-			err = lerr
-			return
-		}
-		// Charge controller time proportional to the table copy.
-		src.mu.RLock()
-		if src.swapped {
-			src.mu.RUnlock()
-			err = ErrSwappedOut
-			return
-		}
-		probes := src.index.Len()
+	res := d.SubmitSnapshot(nsID).Wait()
+	return res.Namespace, res.Err
+}
+
+// execSnapshot is the firmware's snapshot handler; it runs on a pipeline
+// worker.
+func (d *Device) execSnapshot(nsID uint32) (uint32, error) {
+	if d.closed.Load() {
+		return 0, d.closedErr()
+	}
+	src, lerr := d.lookupNS(nsID)
+	if lerr != nil {
+		return 0, lerr
+	}
+	// Charge controller time proportional to the table copy.
+	src.mu.RLock()
+	if src.swapped {
 		src.mu.RUnlock()
-		d.ctrl.ComputeProbes(probes / 64) // bulk copy, not per-slot probing
+		return 0, ErrSwappedOut
+	}
+	probes := src.index.Len()
+	src.mu.RUnlock()
+	d.ctrl.ComputeProbes(probes / 64) // bulk copy, not per-slot probing
 
-		for {
-			d.mu.Lock()
-			src, ok := d.namespaces[nsID]
-			if !ok {
-				d.mu.Unlock()
-				err = fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
-				return
-			}
-			if src.pendingBatches.Load() > 0 {
-				// A Put batch has staged some but possibly not all of its
-				// records into this index. Wait for it to commit or abort —
-				// without holding the device lock, since draining the batch
-				// may need the flusher (which installs under d.mu.RLock).
-				d.mu.Unlock()
-				d.eng.Sleep(d.cfg.FlushPoll)
-				continue
-			}
-			src.mu.Lock()
-			if src.pendingBatches.Load() > 0 {
-				// A batch slipped in between the check above and the lock;
-				// with src.mu now held it can stage nothing further, but it
-				// may already have staged a prefix — retry.
-				src.mu.Unlock()
-				d.mu.Unlock()
-				d.eng.Sleep(d.cfg.FlushPoll)
-				continue
-			}
-			if src.swapped {
-				src.mu.Unlock()
-				d.mu.Unlock()
-				err = ErrSwappedOut
-				return
-			}
-
-			d.nvMu.Lock()
-			snapID = d.nv.nextNSID
-			d.nv.nextNSID++
-			// The snapshot's view is "every sequence assigned so far" — or the
-			// source's own cutoff when snapshotting a snapshot. Recovery
-			// rebuilds the view from the raw flash scan as "newest record with
-			// seq <= cutoff", so the cutoff is persisted in the NVRAM catalog.
-			cut := src.cutoff
-			if cut == noCutoff {
-				cut = d.nv.nvSeq
-			}
-			d.nvMu.Unlock()
-
-			snap := d.newNamespace(snapID)
-			snap.index = src.index.Clone()
-			snap.logIDs = append([]int(nil), src.logIDs...)
-			snap.origin = familyRoot(src)
-			snap.readonly = true
-			snap.cutoff = cut
-			d.namespaces[snapID] = snap
-			d.nvMu.Lock()
-			d.nv.putNS(nsMeta{
-				id: snapID, kind: snap.index.Kind(), capacity: snap.index.Capacity(),
-				numLogs: len(snap.logIDs), origin: snap.origin, readonly: true, cutoff: cut,
-			})
-			d.nvMu.Unlock()
-			src.mu.Unlock()
-			// Records shared with the snapshot must count as valid even after
-			// the origin supersedes them; exact double-entry accounting per
-			// member is not worth the bookkeeping (GC re-validates every record
-			// it scans), so credit the snapshot's flash records once.
-			snap.index.Range(func(_, val uint64) bool {
-				if loc := location(val); loc.isFlash() {
-					d.creditValid(loc)
-				}
-				return true
-			})
+	var snapID uint32
+	for {
+		d.mu.Lock()
+		src, ok := d.namespaces[nsID]
+		if !ok {
 			d.mu.Unlock()
-			return
+			return 0, fmt.Errorf("%w: %d", ErrNoNamespace, nsID)
 		}
-	})
-	return snapID, err
+		if src.pendingBatches.Load() > 0 {
+			// A Put batch has staged some but possibly not all of its
+			// records into this index. Wait for it to commit or abort —
+			// without holding the device lock, since draining the batch
+			// may need the flusher (which installs under d.mu.RLock).
+			d.mu.Unlock()
+			d.eng.Sleep(d.cfg.FlushPoll)
+			continue
+		}
+		src.mu.Lock()
+		if src.pendingBatches.Load() > 0 {
+			// A batch slipped in between the check above and the lock;
+			// with src.mu now held it can stage nothing further, but it
+			// may already have staged a prefix — retry.
+			src.mu.Unlock()
+			d.mu.Unlock()
+			d.eng.Sleep(d.cfg.FlushPoll)
+			continue
+		}
+		if src.swapped {
+			src.mu.Unlock()
+			d.mu.Unlock()
+			return 0, ErrSwappedOut
+		}
+
+		d.nvMu.Lock()
+		snapID = d.nv.nextNSID
+		d.nv.nextNSID++
+		// The snapshot's view is "every sequence assigned so far" — or the
+		// source's own cutoff when snapshotting a snapshot. Recovery
+		// rebuilds the view from the raw flash scan as "newest record with
+		// seq <= cutoff", so the cutoff is persisted in the NVRAM catalog.
+		cut := src.cutoff
+		if cut == noCutoff {
+			cut = d.nv.nvSeq
+		}
+		d.nvMu.Unlock()
+
+		snap := d.newNamespace(snapID)
+		snap.index = src.index.Clone()
+		snap.logIDs = append([]int(nil), src.logIDs...)
+		snap.origin = familyRoot(src)
+		snap.readonly = true
+		snap.cutoff = cut
+		d.namespaces[snapID] = snap
+		d.nvMu.Lock()
+		d.nv.putNS(nsMeta{
+			id: snapID, kind: snap.index.Kind(), capacity: snap.index.Capacity(),
+			numLogs: len(snap.logIDs), origin: snap.origin, readonly: true, cutoff: cut,
+		})
+		d.nvMu.Unlock()
+		src.mu.Unlock()
+		// Records shared with the snapshot must count as valid even after
+		// the origin supersedes them; exact double-entry accounting per
+		// member is not worth the bookkeeping (GC re-validates every record
+		// it scans), so credit the snapshot's flash records once.
+		snap.index.Range(func(_, val uint64) bool {
+			if loc := location(val); loc.isFlash() {
+				d.creditValid(loc)
+			}
+			return true
+		})
+		d.mu.Unlock()
+		return snapID, nil
+	}
 }
 
 // familyRoot returns the namespace ID whose records the namespace

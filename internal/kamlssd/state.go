@@ -306,7 +306,12 @@ func (d *Device) Crash() *State {
 		lg.mu.Unlock()
 	}
 	d.mu.Unlock()
+	// Fail the command pipeline so queued commands bounce with ErrPowerLoss
+	// and its actors exit — the snapshot above is the crash point, nothing
+	// after it may reach flash or NVRAM.
+	d.pipe.Fail(ErrPowerLoss)
 	d.stopped.Wait()
+	d.pipe.Join()
 	return st
 }
 

@@ -1,0 +1,305 @@
+package kvproto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("kvproto: key not found")
+
+// ErrClientClosed reports use of a client after Close.
+var ErrClientClosed = errors.New("kvproto: client closed")
+
+// Client speaks the framed v2 protocol and pipelines: any number of
+// goroutines may issue requests concurrently on one connection, and the
+// async variants let a single goroutine keep a window of commands in
+// flight. Completions are matched to callers by request ID, so the server
+// is free to finish them out of order.
+//
+// A transport error anywhere poisons the client: every outstanding request
+// fails with that error, and every later call fails fast with it — a torn
+// connection can never leave a caller parked forever or mis-deliver a
+// stray completion.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	w   *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan rframe
+	err     error // first transport error; sticky
+}
+
+// rframe is a matched response (or the poison verdict).
+type rframe struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+// Dial connects to a server and performs the KVP2 handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient upgrades an established connection to the framed protocol.
+func NewClient(conn net.Conn) (*Client, error) {
+	r := bufio.NewReader(conn)
+	if _, err := fmt.Fprintf(conn, "%s\n", Handshake); err != nil {
+		return nil, err
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if line != handshakeReply {
+		return nil, fmt.Errorf("kvproto: handshake rejected: %q", strings.TrimSpace(line))
+	}
+	c := &Client{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: make(map[uint64]chan rframe),
+	}
+	go c.readLoop(r)
+	return c, nil
+}
+
+// readLoop delivers completions by request ID until the transport dies.
+func (c *Client) readLoop(r *bufio.Reader) {
+	for {
+		status, id, payload, err := readFrame(r)
+		if err != nil {
+			c.poison(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			// A completion nothing claims: the server is confused or the
+			// stream is corrupt — nothing sane can follow.
+			c.poison(fmt.Errorf("kvproto: unsolicited completion id %d", id))
+			return
+		}
+		ch <- rframe{status: status, payload: payload}
+	}
+}
+
+// poison records the first transport error and fails every outstanding
+// request with it. The pending channels have capacity 1, so delivery never
+// blocks.
+func (c *Client) poison(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	failed := c.pending
+	c.pending = make(map[uint64]chan rframe)
+	verdict := c.err
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range failed {
+		ch <- rframe{err: verdict}
+	}
+}
+
+// start registers a request and writes its frame. The returned channel
+// receives exactly one rframe: the completion, or the poison verdict.
+func (c *Client) start(kind byte, payload []byte) (chan rframe, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan rframe, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.w, kind, id, payload)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		// A mid-stream write error is a torn connection: this request AND
+		// every other outstanding one must fail, and the client stays dead.
+		c.poison(err)
+		return nil, err
+	}
+	return ch, nil
+}
+
+// await turns a completion into (payload, error).
+func await(ch chan rframe) ([]byte, error) {
+	f := <-ch
+	if f.err != nil {
+		return nil, f.err
+	}
+	switch f.status {
+	case stOK:
+		return f.payload, nil
+	case stNotFound:
+		return nil, ErrNotFound
+	case stErr:
+		return nil, errors.New(string(f.payload))
+	default:
+		return nil, fmt.Errorf("kvproto: unknown status %d", f.status)
+	}
+}
+
+// Close tears down the connection; outstanding requests fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.poison(ErrClientClosed)
+	return nil
+}
+
+// Err returns the sticky transport error, if the client is poisoned.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func nsKeyPayload(ns uint32, key uint64, val []byte) []byte {
+	p := make([]byte, 12+len(val))
+	binary.BigEndian.PutUint32(p[0:4], ns)
+	binary.BigEndian.PutUint64(p[4:12], key)
+	copy(p[12:], val)
+	return p
+}
+
+func u32Payload(v uint32) []byte {
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], v)
+	return p[:]
+}
+
+// GetFuture is an in-flight Get.
+type GetFuture struct{ ch chan rframe }
+
+// Wait blocks until the completion (or poison) arrives.
+func (f *GetFuture) Wait() ([]byte, error) { return await(f.ch) }
+
+// PutFuture is an in-flight Put.
+type PutFuture struct{ ch chan rframe }
+
+// Wait blocks until the completion (or poison) arrives.
+func (f *PutFuture) Wait() error {
+	_, err := await(f.ch)
+	return err
+}
+
+// GetAsync submits a Get without waiting; completions may be awaited in
+// any order.
+func (c *Client) GetAsync(ns uint32, key uint64) (*GetFuture, error) {
+	ch, err := c.start(reqGet, nsKeyPayload(ns, key, nil))
+	if err != nil {
+		return nil, err
+	}
+	return &GetFuture{ch: ch}, nil
+}
+
+// PutAsync submits a Put without waiting.
+func (c *Client) PutAsync(ns uint32, key uint64, val []byte) (*PutFuture, error) {
+	if len(val) > MaxValueLen {
+		return nil, fmt.Errorf("kvproto: value too large (%d bytes)", len(val))
+	}
+	ch, err := c.start(reqPut, nsKeyPayload(ns, key, val))
+	if err != nil {
+		return nil, err
+	}
+	return &PutFuture{ch: ch}, nil
+}
+
+// Get fetches a value.
+func (c *Client) Get(ns uint32, key uint64) ([]byte, error) {
+	f, err := c.GetAsync(ns, key)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// Put stores a value.
+func (c *Client) Put(ns uint32, key uint64, val []byte) error {
+	f, err := c.PutAsync(ns, key, val)
+	if err != nil {
+		return err
+	}
+	return f.Wait()
+}
+
+// CreateNamespace asks the server for a new namespace.
+func (c *Client) CreateNamespace(expectedKeys int) (uint32, error) {
+	ch, err := c.start(reqCreate, u32Payload(uint32(expectedKeys)))
+	if err != nil {
+		return 0, err
+	}
+	pl, err := await(ch)
+	if err != nil {
+		return 0, err
+	}
+	if len(pl) != 4 {
+		return 0, fmt.Errorf("kvproto: bad CREATE reply (%d bytes)", len(pl))
+	}
+	return binary.BigEndian.Uint32(pl), nil
+}
+
+// DeleteNamespace destroys a namespace.
+func (c *Client) DeleteNamespace(ns uint32) error {
+	ch, err := c.start(reqDelete, u32Payload(ns))
+	if err != nil {
+		return err
+	}
+	_, err = await(ch)
+	return err
+}
+
+// Snapshot asks the server to snapshot a namespace.
+func (c *Client) Snapshot(ns uint32) (uint32, error) {
+	ch, err := c.start(reqSnapshot, u32Payload(ns))
+	if err != nil {
+		return 0, err
+	}
+	pl, err := await(ch)
+	if err != nil {
+		return 0, err
+	}
+	if len(pl) != 4 {
+		return 0, fmt.Errorf("kvproto: bad SNAPSHOT reply (%d bytes)", len(pl))
+	}
+	return binary.BigEndian.Uint32(pl), nil
+}
+
+// Stats fetches the server's device counters as a raw line.
+func (c *Client) Stats() (string, error) {
+	ch, err := c.start(reqStats, nil)
+	if err != nil {
+		return "", err
+	}
+	pl, err := await(ch)
+	return string(pl), err
+}

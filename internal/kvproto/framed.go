@@ -1,0 +1,224 @@
+package kvproto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+// The framed protocol (v2). A client opts in by sending the text line
+// "KVP2\n" as its first command; the server answers "OK KVP2\n" and the
+// connection switches to binary frames in both directions:
+//
+//	request:  u32 length | u8 op     | u64 reqID | payload
+//	response: u32 length | u8 status | u64 reqID | payload
+//
+// length counts everything after itself (1 + 8 + len(payload)). Request
+// IDs are chosen by the client and echoed verbatim; responses may arrive
+// in ANY order, which is the point — a client may keep many requests
+// outstanding on one connection and match completions by ID, mirroring the
+// device's own submission/completion pipeline end to end.
+const (
+	// Handshake and HandshakeReply are the text-protocol escape hatch into
+	// framing.
+	Handshake      = "KVP2"
+	handshakeReply = "OK KVP2\n"
+
+	// Request opcodes.
+	reqGet      = 1
+	reqPut      = 2
+	reqCreate   = 3
+	reqDelete   = 4
+	reqSnapshot = 5
+	reqStats    = 6
+
+	// Response statuses.
+	stOK       = 0
+	stErr      = 1
+	stNotFound = 2
+
+	// maxFrame bounds a frame body; above MaxValueLen plus header room.
+	maxFrame = MaxValueLen + 64
+
+	// maxInFlight bounds commands a single framed connection may have
+	// executing on the device — the server-side queue depth.
+	maxInFlight = 128
+)
+
+// writeFrame emits one frame; the caller flushes.
+func writeFrame(w *bufio.Writer, kind byte, id uint64, payload []byte) error {
+	var hdr [13]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(1+8+len(payload)))
+	hdr[4] = kind
+	binary.BigEndian.PutUint64(hdr[5:13], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r *bufio.Reader) (kind byte, id uint64, payload []byte, err error) {
+	var hdr [13]byte
+	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n < 9 || n > maxFrame {
+		err = fmt.Errorf("kvproto: bad frame length %d", n)
+		return
+	}
+	if _, err = io.ReadFull(r, hdr[4:13]); err != nil {
+		return
+	}
+	kind = hdr[4]
+	id = binary.BigEndian.Uint64(hdr[5:13])
+	payload = make([]byte, n-9)
+	_, err = io.ReadFull(r, payload)
+	return
+}
+
+// statsLine renders the STATS response shared by both protocol flavors.
+func statsLine(st kaml.Stats) string {
+	return fmt.Sprintf("STATS puts=%d gets=%d records=%d programs=%d gc_copies=%d gc_erases=%d "+
+		"pipeline_submitted=%d pipeline_completed=%d coalesced_puts=%d coalescer_batches=%d "+
+		"pipeline_max_queue=%d pipeline_mean_queue=%.2f",
+		st.Puts, st.Gets, st.PutRecords, st.Programs, st.GCCopies, st.GCErases,
+		st.PipelineSubmitted, st.PipelineCompleted, st.CoalescedPuts, st.CoalescerBatches,
+		st.PipelineMaxQueue, st.PipelineMeanQueue)
+}
+
+// handleFramed serves one connection after the KVP2 handshake. A reader
+// loop (this goroutine) admits up to maxInFlight commands, each executing
+// as its own simulation actor so the device sees real queue depth; a
+// writer goroutine serializes completions back to the wire in whatever
+// order they finish. Channel capacities equal the in-flight bound, so
+// actors never block on a real channel (which would stall the virtual
+// clock).
+func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+	type resp struct {
+		status  byte
+		id      uint64
+		payload []byte
+	}
+	respCh := make(chan resp, maxInFlight)
+	slots := make(chan struct{}, maxInFlight)
+	var outstanding sync.WaitGroup
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for rp := range respCh {
+			if broken {
+				continue // drain so actors never block
+			}
+			if err := writeFrame(w, rp.status, rp.id, rp.payload); err != nil {
+				broken = true
+				conn.Close() // kick the reader loose
+				continue
+			}
+			// Flush only when no completion is queued behind us: adjacent
+			// completions share one syscall, the pipelining win.
+			if len(respCh) == 0 {
+				if err := w.Flush(); err != nil {
+					broken = true
+					conn.Close()
+				}
+			}
+		}
+	}()
+	for {
+		kind, id, payload, err := readFrame(r)
+		if err != nil {
+			break
+		}
+		slots <- struct{}{}
+		outstanding.Add(1)
+		s.dev.Go(func() {
+			defer outstanding.Done()
+			status, pl := s.execFrame(kind, payload)
+			respCh <- resp{status, id, pl}
+			<-slots
+		})
+	}
+	// Disconnect: let in-flight commands finish (their writes are already
+	// acknowledged device-side or will be; abandoning them mid-actor is not
+	// an option), then retire the writer.
+	outstanding.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// execFrame decodes and executes one framed request. Runs on a simulation
+// actor.
+func (s *Server) execFrame(kind byte, payload []byte) (byte, []byte) {
+	bad := func() (byte, []byte) { return stErr, []byte("bad frame") }
+	switch kind {
+	case reqGet:
+		if len(payload) != 12 {
+			return bad()
+		}
+		ns := binary.BigEndian.Uint32(payload[0:4])
+		key := binary.BigEndian.Uint64(payload[4:12])
+		val, err := s.dev.Get(ns, key)
+		if errors.Is(err, kaml.ErrKeyNotFound) {
+			return stNotFound, nil
+		}
+		if err != nil {
+			return stErr, []byte(err.Error())
+		}
+		return stOK, val
+	case reqPut:
+		if len(payload) < 12 {
+			return bad()
+		}
+		ns := binary.BigEndian.Uint32(payload[0:4])
+		key := binary.BigEndian.Uint64(payload[4:12])
+		if err := s.dev.Put(ns, key, payload[12:]); err != nil {
+			return stErr, []byte(err.Error())
+		}
+		return stOK, nil
+	case reqCreate:
+		if len(payload) != 4 {
+			return bad()
+		}
+		expected := int(binary.BigEndian.Uint32(payload))
+		ns, err := s.dev.CreateNamespace(kaml.NamespaceOptions{ExpectedKeys: expected})
+		if err != nil {
+			return stErr, []byte(err.Error())
+		}
+		var out [4]byte
+		binary.BigEndian.PutUint32(out[:], ns)
+		return stOK, out[:]
+	case reqDelete:
+		if len(payload) != 4 {
+			return bad()
+		}
+		if err := s.dev.DeleteNamespace(binary.BigEndian.Uint32(payload)); err != nil {
+			return stErr, []byte(err.Error())
+		}
+		return stOK, nil
+	case reqSnapshot:
+		if len(payload) != 4 {
+			return bad()
+		}
+		snap, err := s.dev.Snapshot(binary.BigEndian.Uint32(payload))
+		if err != nil {
+			return stErr, []byte(err.Error())
+		}
+		var out [4]byte
+		binary.BigEndian.PutUint32(out[:], snap)
+		return stOK, out[:]
+	case reqStats:
+		return stOK, []byte(statsLine(s.dev.Stats()))
+	default:
+		return stErr, []byte(fmt.Sprintf("unknown op %d", kind))
+	}
+}

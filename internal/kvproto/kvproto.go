@@ -1,9 +1,10 @@
-// Package kvproto implements a small line-oriented TCP protocol exposing a
-// KAML device as a network key-value store — the shape of service the
-// paper's introduction motivates (and the Kinetic-style deployment §VI
-// contrasts with). Values are binary-safe via length-prefixed payloads.
+// Package kvproto exposes a KAML device as a network key-value store —
+// the shape of service the paper's introduction motivates (and the
+// Kinetic-style deployment §VI contrasts with). Two wire flavors share
+// every port.
 //
-// Requests:
+// The legacy text protocol, for humans and netcat (values are binary-safe
+// via length-prefixed payloads):
 //
 //	CREATE <expectedKeys>\n            -> NS <id>\n
 //	SNAPSHOT <ns>\n                    -> NS <id>\n
@@ -13,9 +14,17 @@
 //	STATS\n                            -> STATS puts=<n> gets=<n> ...\n
 //	QUIT\n                             -> BYE\n
 //
+// And the framed v2 protocol (see framed.go): a connection whose FIRST
+// line is "KVP2\n" switches to length-prefixed binary frames carrying
+// request IDs, letting a client pipeline many commands on one connection
+// with out-of-order completion — the protocol-level mirror of the device's
+// submission/completion queues. Client speaks v2; TextClient keeps the
+// serial text flavor.
+//
 // The server bridges real network goroutines onto the device's simulated
 // clock: each request executes as a short-lived simulation actor while the
-// connection goroutine waits on a channel.
+// connection goroutine (text) or completion writer (framed) waits on real
+// channels.
 package kvproto
 
 import (
@@ -114,6 +123,15 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		switch strings.ToUpper(fields[0]) {
+		case Handshake:
+			// Protocol upgrade: acknowledge in text, then hand the
+			// connection to the framed engine until it disconnects.
+			w.WriteString(handshakeReply)
+			if err := w.Flush(); err != nil {
+				return
+			}
+			s.handleFramed(conn, r, w)
+			return
 		case "CREATE":
 			s.cmdCreate(w, fields)
 		case "SNAPSHOT":
@@ -251,51 +269,69 @@ func (s *Server) cmdGet(w io.Writer, fields []string) {
 func (s *Server) cmdStats(w io.Writer) {
 	var st kaml.Stats
 	s.runOnDevice(func() { st = s.dev.Stats() })
-	fmt.Fprintf(w, "STATS puts=%d gets=%d records=%d programs=%d gc_copies=%d gc_erases=%d\n",
-		st.Puts, st.Gets, st.PutRecords, st.Programs, st.GCCopies, st.GCErases)
+	fmt.Fprintf(w, "%s\n", statsLine(st))
 }
 
-// Client is a minimal client for the protocol.
-type Client struct {
+// TextClient is a minimal serial client for the legacy text protocol. A
+// transport error poisons it: the in-flight request fails, and every later
+// call fails fast with the same error — the reply stream can no longer be
+// trusted to line up with requests.
+type TextClient struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
 	mu   sync.Mutex
+	err  error // first transport error; sticky
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
+// DialText connects to a server with the text protocol.
+func DialText(addr string) (*TextClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewTextClient(conn), nil
 }
 
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+// NewTextClient wraps an established connection.
+func NewTextClient(conn net.Conn) *TextClient {
+	return &TextClient{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 }
 
 // Close closes the connection.
-func (c *Client) Close() error {
+func (c *TextClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "QUIT\n")
-	c.w.Flush()
+	if c.err == nil {
+		fmt.Fprintf(c.w, "QUIT\n")
+		c.w.Flush()
+	}
 	return c.conn.Close()
 }
 
-func (c *Client) roundTrip(req string) (string, error) {
+// fail poisons the client with the first transport error. Caller holds
+// c.mu.
+func (c *TextClient) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+		c.conn.Close()
+	}
+	return c.err
+}
+
+func (c *TextClient) roundTrip(req string) (string, error) {
+	if c.err != nil {
+		return "", c.err
+	}
 	if _, err := c.w.WriteString(req); err != nil {
-		return "", err
+		return "", c.fail(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return "", err
+		return "", c.fail(err)
 	}
 	line, err := c.r.ReadString('\n')
 	if err != nil {
-		return "", err
+		return "", c.fail(err)
 	}
 	return strings.TrimSpace(line), nil
 }
@@ -308,7 +344,7 @@ func parseErr(resp string) error {
 }
 
 // CreateNamespace asks the server for a new namespace.
-func (c *Client) CreateNamespace(expectedKeys int) (uint32, error) {
+func (c *TextClient) CreateNamespace(expectedKeys int) (uint32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	resp, err := c.roundTrip(fmt.Sprintf("CREATE %d\n", expectedKeys))
@@ -323,17 +359,20 @@ func (c *Client) CreateNamespace(expectedKeys int) (uint32, error) {
 }
 
 // Put stores a value.
-func (c *Client) Put(ns uint32, key uint64, val []byte) error {
+func (c *TextClient) Put(ns uint32, key uint64, val []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
 	fmt.Fprintf(c.w, "PUT %d %d %d\n", ns, key, len(val))
 	c.w.Write(val)
 	if err := c.w.Flush(); err != nil {
-		return err
+		return c.fail(err)
 	}
 	line, err := c.r.ReadString('\n')
 	if err != nil {
-		return err
+		return c.fail(err)
 	}
 	if strings.TrimSpace(line) != "OK" {
 		return parseErr(strings.TrimSpace(line))
@@ -341,11 +380,8 @@ func (c *Client) Put(ns uint32, key uint64, val []byte) error {
 	return nil
 }
 
-// ErrNotFound is returned by Get for missing keys.
-var ErrNotFound = errors.New("kvproto: key not found")
-
 // Get fetches a value.
-func (c *Client) Get(ns uint32, key uint64) ([]byte, error) {
+func (c *TextClient) Get(ns uint32, key uint64) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	resp, err := c.roundTrip(fmt.Sprintf("GET %d %d\n", ns, key))
@@ -361,17 +397,17 @@ func (c *Client) Get(ns uint32, key uint64) ([]byte, error) {
 	}
 	val := make([]byte, n)
 	if _, err := io.ReadFull(c.r, val); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	// trailing newline
 	if _, err := c.r.ReadString('\n'); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	return val, nil
 }
 
 // Snapshot asks the server to snapshot a namespace.
-func (c *Client) Snapshot(ns uint32) (uint32, error) {
+func (c *TextClient) Snapshot(ns uint32) (uint32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	resp, err := c.roundTrip(fmt.Sprintf("SNAPSHOT %d\n", ns))
@@ -386,7 +422,7 @@ func (c *Client) Snapshot(ns uint32) (uint32, error) {
 }
 
 // Stats fetches the server's device counters as a raw line.
-func (c *Client) Stats() (string, error) {
+func (c *TextClient) Stats() (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.roundTrip("STATS\n")

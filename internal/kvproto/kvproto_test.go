@@ -123,7 +123,7 @@ func TestProtocolErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	c := NewClient(conn)
+	c := NewTextClient(conn)
 	defer c.Close()
 
 	// Unknown namespace.

@@ -72,16 +72,36 @@ func (c *Controller) Config() Config { return c.cfg }
 // Engine returns the owning simulation engine.
 func (c *Controller) Engine() *sim.Engine { return c.eng }
 
-// Submit runs fn as a firmware command handler in the calling actor's
-// context, charging host software time, submission latency, and completion
-// latency around it, and holding a queue slot throughout.
-func (c *Controller) Submit(fn func()) {
+// Submission charges the host-side cost of issuing one command: host
+// software time, then a queue-pair slot held only for the submission
+// transfer. The slot bounds concurrent DMA into the device, not device-side
+// work — outstanding-command limits live in the firmware's command pipeline
+// (internal/cmdq), which is what lets QueueDepth transfers overlap hundreds
+// of microseconds of flash work.
+func (c *Controller) Submission() {
 	c.eng.Sleep(c.cfg.HostSoftware)
 	c.queue.Acquire()
 	c.eng.Sleep(c.cfg.SubmissionLatency)
-	fn()
+	c.queue.Release()
+}
+
+// Completion charges the device-to-host completion path (CQE post plus the
+// host observing it), holding a queue-pair slot for the transfer only.
+func (c *Controller) Completion() {
+	c.queue.Acquire()
 	c.eng.Sleep(c.cfg.CompletionLatency)
 	c.queue.Release()
+}
+
+// Submit runs fn as a firmware command handler in the calling actor's
+// context between the submission and completion transfers — the legacy
+// blocking transport, still used by the block-FTL baseline and admin
+// commands. Unlike the pre-pipeline transport, the queue slot is NOT held
+// across fn: device work never blocks other commands' transfers.
+func (c *Controller) Submit(fn func()) {
+	c.Submission()
+	fn()
+	c.Completion()
 }
 
 // Compute charges d of controller CPU time, competing for a core.

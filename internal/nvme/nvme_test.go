@@ -24,18 +24,18 @@ func TestSubmitChargesTransportCosts(t *testing.T) {
 	}
 }
 
-func TestQueueDepthLimitsOutstanding(t *testing.T) {
+func TestQueueDepthLimitsConcurrentTransfers(t *testing.T) {
 	e := sim.NewEngine()
 	cfg := DefaultConfig()
 	cfg.QueueDepth = 2
 	cfg.HostSoftware = 0
-	cfg.SubmissionLatency = 0
+	cfg.SubmissionLatency = time.Millisecond
 	cfg.CompletionLatency = 0
 	c := New(e, cfg)
 	var ends []time.Duration
 	for i := 0; i < 4; i++ {
 		e.Go("cmd", func() {
-			c.Submit(func() { e.Sleep(time.Millisecond) })
+			c.Submission()
 			ends = append(ends, e.Now())
 		})
 	}
@@ -53,6 +53,31 @@ func TestQueueDepthLimitsOutstanding(t *testing.T) {
 	}
 	if at1 != 2 || at2 != 2 {
 		t.Fatalf("ends=%v", ends)
+	}
+}
+
+// The queue slot covers transfers only: device-side work between submission
+// and completion must not serialize other commands, even at QueueDepth 1.
+func TestSlotNotHeldAcrossDeviceWork(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 1
+	cfg.HostSoftware = 0
+	cfg.SubmissionLatency = 0
+	cfg.CompletionLatency = 0
+	c := New(e, cfg)
+	var ends []time.Duration
+	for i := 0; i < 2; i++ {
+		e.Go("cmd", func() {
+			c.Submit(func() { e.Sleep(time.Millisecond) })
+			ends = append(ends, e.Now())
+		})
+	}
+	e.Wait()
+	for _, d := range ends {
+		if d != time.Millisecond {
+			t.Fatalf("device work held the queue slot: ends=%v", ends)
+		}
 	}
 }
 

@@ -32,9 +32,11 @@ package kaml
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/kaml-ssd/kaml/internal/cache"
+	"github.com/kaml-ssd/kaml/internal/cmdq"
 	"github.com/kaml-ssd/kaml/internal/faultinject"
 	"github.com/kaml-ssd/kaml/internal/flash"
 	"github.com/kaml-ssd/kaml/internal/kamlssd"
@@ -56,6 +58,16 @@ var (
 	// ErrPowerLoss reports an operation interrupted by a power cut. A Put
 	// returning it was NOT acknowledged: after Reopen the batch is absent.
 	ErrPowerLoss = kamlssd.ErrPowerLoss
+	// ErrClosed reports an operation submitted after Close.
+	ErrClosed = kamlssd.ErrClosed
+	// ErrEmptyBatch reports a PutBatch with no records; an empty atomic
+	// write is almost always a caller bug, so it is rejected rather than
+	// trivially acknowledged.
+	ErrEmptyBatch = errors.New("kaml: empty batch")
+	// ErrDuplicateKey reports a PutBatch naming the same (namespace, key)
+	// twice. The firmware cannot order two writes to one key within a
+	// single atomic batch, so the batch is rejected before submission.
+	ErrDuplicateKey = errors.New("kaml: duplicate key in batch")
 	// ErrTxnAborted reports a transaction killed by concurrency control;
 	// retry it.
 	ErrTxnAborted = storage.ErrAborted
@@ -287,10 +299,81 @@ func (d *Device) Put(ns Namespace, key uint64, value []byte) error {
 // Record is one element of an atomic batch Put.
 type Record = kamlssd.PutRecord
 
+// validateBatch enforces the PutBatch contract: at least one record and no
+// repeated (namespace, key). Checked host-side so a malformed batch fails
+// fast with a typed error instead of costing a device round trip.
+func validateBatch(records []Record) error {
+	if len(records) == 0 {
+		return ErrEmptyBatch
+	}
+	if len(records) > 1 {
+		seen := make(map[[2]uint64]struct{}, len(records))
+		for _, r := range records {
+			k := [2]uint64{uint64(r.Namespace), r.Key}
+			if _, dup := seen[k]; dup {
+				return fmt.Errorf("%w: ns %d key %d", ErrDuplicateKey, r.Namespace, r.Key)
+			}
+			seen[k] = struct{}{}
+		}
+	}
+	return nil
+}
+
 // PutBatch atomically inserts or updates several key-value pairs, possibly
-// across namespaces — the paper's multi-part atomic write.
+// across namespaces — the paper's multi-part atomic write. Batches must be
+// non-empty (ErrEmptyBatch) and free of repeated keys (ErrDuplicateKey).
 func (d *Device) PutBatch(records []Record) error {
+	if err := validateBatch(records); err != nil {
+		return err
+	}
 	return d.dev.Put(records)
+}
+
+// GetFuture is an in-flight AsyncGet. Wait parks the calling actor until
+// the device completes the command.
+type GetFuture struct{ f *cmdq.Future }
+
+// Wait blocks (on the virtual clock) until the Get completes.
+func (f *GetFuture) Wait() ([]byte, error) {
+	res := f.f.Wait()
+	return res.Value, res.Err
+}
+
+// Ready reports, without blocking, whether the completion has arrived.
+func (f *GetFuture) Ready() bool { return f.f.Ready() }
+
+// PutFuture is an in-flight AsyncPut or AsyncPutBatch.
+type PutFuture struct{ f *cmdq.Future }
+
+// Wait blocks (on the virtual clock) until the write is acknowledged.
+func (f *PutFuture) Wait() error { return f.f.Wait().Err }
+
+// Ready reports, without blocking, whether the completion has arrived.
+func (f *PutFuture) Ready() bool { return f.f.Ready() }
+
+// AsyncGet submits a Get and returns immediately with a future. Issuing
+// many before the first Wait keeps the device's command pipeline full —
+// the same queue-depth game a real NVMe host plays. Call from an actor.
+func (d *Device) AsyncGet(ns Namespace, key uint64) *GetFuture {
+	return &GetFuture{f: d.dev.SubmitGet(ns, key)}
+}
+
+// AsyncPut submits a single-record Put and returns immediately with a
+// future. Concurrent small AsyncPuts are candidates for the device's group
+// commit: the coalescer may merge them into one multi-record NVRAM commit,
+// amortizing the per-command firmware and completion costs.
+func (d *Device) AsyncPut(ns Namespace, key uint64, value []byte) *PutFuture {
+	return &PutFuture{f: d.dev.SubmitPut([]kamlssd.PutRecord{{Namespace: ns, Key: key, Value: value}})}
+}
+
+// AsyncPutBatch submits an atomic multi-record write and returns a future.
+// Validation failures (ErrEmptyBatch, ErrDuplicateKey) surface through the
+// future's Wait, never through a neighboring command.
+func (d *Device) AsyncPutBatch(records []Record) *PutFuture {
+	if err := validateBatch(records); err != nil {
+		return &PutFuture{f: cmdq.Resolved(d.eng, cmdq.Result{Err: err})}
+	}
+	return &PutFuture{f: d.dev.SubmitPut(records)}
 }
 
 // Flush waits until every acknowledged Put has reached flash. KAML's
