@@ -92,6 +92,11 @@ type Command struct {
 	Namespace uint32
 	Key       uint64
 	Records   []Record
+	// Merged is set by the coalescer on a group commit: the number of
+	// logical write commands whose records the batch carries. Zero for
+	// directly submitted commands, so exec functions keeping per-command
+	// stats should charge max(1, Merged) commands per call.
+	Merged int
 }
 
 // Result is a command's completion: the read value for Get, the created
@@ -417,6 +422,14 @@ func (c *coalescer) addLocked(t task) {
 	c.cv.Signal()
 }
 
+// earlyCutGrace is how long a coalescer waits before cutting a batch it
+// believes no concurrent writer can join (pipeline occupancy equals the
+// shard's pending tasks). The virtual clock only advances once every
+// runnable actor has parked, so even this tiny sleep guarantees submitters
+// runnable at the same instant get to land in the batch first; after it, a
+// lone synchronous writer pays ~0.1µs instead of the full CoalesceWindow.
+const earlyCutGrace = 100 * time.Nanosecond
+
 // loop is the shard's flusher actor: wait for a write, hold the group-commit
 // window open, then cut and commit one batch.
 func (c *coalescer) loop() {
@@ -436,13 +449,31 @@ func (c *coalescer) loop() {
 		// drained commands must not wait on a window nobody will extend.
 		if p.poison == nil && !p.closing {
 			deadline := c.born + p.cfg.CoalesceWindow
+			graced := false
 			for c.records() < p.cfg.MaxBatchRecords && !p.closing {
 				now := p.eng.Now()
 				if now >= deadline {
 					break
 				}
+				wait := deadline - now
+				if p.occ == len(c.pend) {
+					// Every outstanding command is already pending on this
+					// shard: no in-flight command elsewhere can complete and
+					// feed another write into this batch, so holding the full
+					// window would add pure latency (the QD-1 synchronous
+					// caller is parked in Wait on a future cut right here).
+					// One grace tick lets same-instant submitters land, then
+					// the batch cuts early.
+					if graced {
+						break
+					}
+					graced = true
+					if wait > earlyCutGrace {
+						wait = earlyCutGrace
+					}
+				}
 				p.mu.Unlock()
-				p.eng.Sleep(deadline - now)
+				p.eng.Sleep(wait)
 				p.mu.Lock()
 			}
 		}
@@ -450,20 +481,37 @@ func (c *coalescer) loop() {
 		poison := p.poison
 		p.mu.Unlock()
 
-		var res Result
-		if poison != nil {
-			res = Result{Err: poison}
-		} else {
-			res = p.exec(&Command{Op: OpPutBatch, Records: batch})
+		results := make([]Result, len(tasks))
+		switch {
+		case poison != nil:
+			for i := range results {
+				results[i] = Result{Err: poison}
+			}
+		default:
+			res := p.exec(&Command{Op: OpPutBatch, Records: batch, Merged: len(tasks)})
+			if res.Err != nil && len(tasks) > 1 {
+				// A merged commit is all-or-nothing in the firmware, so its
+				// error would name every coalesced neighbor even when only
+				// one command is at fault (read-only namespace, namespace
+				// deleted after submission, mapping table full — none of
+				// which host-side validation can pre-check race-free). The
+				// failed group commit rolled back without side effects, so
+				// re-execute each merged command individually and give every
+				// future its own verdict: an innocent write must never fail
+				// because of what a coalesced neighbor did.
+				for i, t := range tasks {
+					results[i] = p.exec(t.cmd)
+				}
+				break
+			}
 			p.batchCommits.Add(1)
 			p.batchRecs.Add(int64(len(batch)))
 			if len(tasks) > 1 {
 				p.coalescedPuts.Add(int64(len(tasks)))
 			}
-		}
-		results := make([]Result, len(tasks))
-		for i := range results {
-			results[i] = res
+			for i := range results {
+				results[i] = res
+			}
 		}
 		p.finishAll(tasks, results)
 		p.mu.Lock()

@@ -124,6 +124,84 @@ func TestCoalescerMergesConcurrentPuts(t *testing.T) {
 	eng.Wait()
 }
 
+// A failed group commit must not fail its innocent coalesced neighbors:
+// the coalescer re-executes each merged command individually so every
+// future gets its own verdict (the firmware's merged commit is
+// all-or-nothing, and exec-time failures like a read-only or deleted
+// namespace cannot be pre-checked race-free at submission).
+func TestMergedCommitFailureIsolated(t *testing.T) {
+	errBad := errors.New("read-only namespace")
+	const badKey = 666
+	eng := sim.NewEngine()
+	var sawMerged atomic.Bool
+	exec := func(cmd *Command) Result {
+		if len(cmd.Records) > 1 {
+			sawMerged.Store(true)
+		}
+		for _, r := range cmd.Records {
+			if r.Key == badKey {
+				return Result{Err: errBad}
+			}
+		}
+		return Result{}
+	}
+	p := New(eng, Config{
+		Depth: 8, CoalesceWindow: 10 * time.Microsecond,
+		MaxBatchRecords: 16, CoalesceShards: 1,
+	}, exec)
+	eng.Go("main", func() {
+		defer p.Close()
+		// One submitter issues both before parking, so the coalescer cannot
+		// cut between them (the clock only advances once it parks in Wait).
+		good := p.Submit(&Command{Op: OpPut, Records: []Record{
+			{Namespace: 1, Key: 1, Value: []byte("a")},
+		}})
+		bad := p.Submit(&Command{Op: OpPut, Records: []Record{
+			{Namespace: 9, Key: badKey, Value: []byte("b")},
+		}})
+		if res := good.Wait(); res.Err != nil {
+			t.Errorf("innocent neighbor failed: %v", res.Err)
+		}
+		if res := bad.Wait(); !errors.Is(res.Err, errBad) {
+			t.Errorf("bad command: %v, want errBad", res.Err)
+		}
+	})
+	eng.Wait()
+	if !sawMerged.Load() {
+		t.Fatal("commands never shared a batch; the failure path was not exercised")
+	}
+	if st := p.Stats(); st.Completed != 2 {
+		t.Errorf("completed=%d, want 2", st.Completed)
+	}
+}
+
+// A lone synchronous writer must not pay the full group-commit window: when
+// every outstanding command is already pending on the shard, the batch cuts
+// after a grace tick instead of holding the window open for writers that
+// cannot arrive.
+func TestLoneWriterSkipsCoalesceWindow(t *testing.T) {
+	const window = 5 * time.Millisecond
+	eng := sim.NewEngine()
+	rec := newRecorder(eng, 0)
+	p := New(eng, Config{Depth: 8, CoalesceWindow: window}, rec.exec)
+	var elapsed time.Duration
+	eng.Go("main", func() {
+		defer p.Close()
+		start := eng.Now()
+		if res := p.Submit(&Command{Op: OpPut, Records: []Record{
+			{Namespace: 1, Key: 1, Value: []byte("v")},
+		}}).Wait(); res.Err != nil {
+			t.Errorf("put: %v", res.Err)
+		}
+		elapsed = eng.Now() - start
+	})
+	eng.Wait()
+	if elapsed > 10*time.Microsecond {
+		t.Errorf("lone Put took %v, want ~%v (never the %v window)",
+			elapsed, earlyCutGrace, window)
+	}
+}
+
 // Two writes to the same key must never land in one firmware batch (the
 // atomic batch rejects duplicate keys); the coalescer cuts between them.
 func TestCoalescerSplitsDuplicateKeys(t *testing.T) {

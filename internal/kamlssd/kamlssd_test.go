@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/kaml-ssd/kaml/internal/cmdq"
 	"github.com/kaml-ssd/kaml/internal/flash"
 	"github.com/kaml-ssd/kaml/internal/nvme"
 	"github.com/kaml-ssd/kaml/internal/sim"
@@ -212,6 +213,81 @@ func TestBatchPutAtomicVisibility(t *testing.T) {
 			got, err := r.dev.Get(ns, uint64(i))
 			if err != nil || !bytes.Equal(got, batch[i].Value) {
 				t.Fatalf("record %d: %v", i, err)
+			}
+		}
+	})
+}
+
+// Stats.Puts counts logical Put commands, not batch commits: a group
+// commit carrying N merged Puts must add N (CoalescerBatches counts the
+// commits themselves).
+func TestStatsCountLogicalPutsUnderCoalescing(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, err := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One submitter issues every Put before parking, so the coalescer
+		// windows see all of them pending and merging is guaranteed.
+		const n = 16
+		futs := make([]*cmdq.Future, n)
+		for i := 0; i < n; i++ {
+			futs[i] = r.dev.SubmitPut(one(ns, uint64(i), val(uint64(i), 64)))
+		}
+		for i, f := range futs {
+			if res := f.Wait(); res.Err != nil {
+				t.Fatalf("put %d: %v", i, res.Err)
+			}
+		}
+		st := r.dev.Stats()
+		if st.CoalescedPuts == 0 {
+			t.Error("no puts coalesced; the merged-commit accounting path was not exercised")
+		}
+		if st.Puts != n {
+			t.Errorf("Stats.Puts=%d, want %d logical commands", st.Puts, n)
+		}
+		if st.PutRecords != n {
+			t.Errorf("Stats.PutRecords=%d, want %d", st.PutRecords, n)
+		}
+	})
+}
+
+// A Put to a read-only snapshot namespace only fails at exec time (host
+// validation cannot pre-check namespace state race-free), so when the
+// coalescer merges it with innocent concurrent writes the rejection must
+// land on its own future alone — every neighbor commits normally.
+func TestCoalescedReadOnlyPutFailsAlone(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, err := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.dev.Put(one(ns, 1, []byte("seed"))); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := r.dev.SnapshotNamespace(ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Submit the doomed write surrounded by innocent ones, all before
+		// parking, so the coalescer very likely merges it with neighbors.
+		const n = 24
+		bad := r.dev.SubmitPut(one(snap, 1, []byte("x")))
+		futs := make([]*cmdq.Future, 0, n)
+		for i := 0; i < n; i++ {
+			futs = append(futs, r.dev.SubmitPut(one(ns, uint64(100+i), val(uint64(i), 32))))
+		}
+		if res := bad.Wait(); !errors.Is(res.Err, ErrReadOnly) {
+			t.Errorf("snapshot put: %v, want ErrReadOnly", res.Err)
+		}
+		for i, f := range futs {
+			if res := f.Wait(); res.Err != nil {
+				t.Errorf("innocent put %d failed: %v", i, res.Err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if _, err := r.dev.Get(ns, uint64(100+i)); err != nil {
+				t.Errorf("get %d: %v", i, err)
 			}
 		}
 	})

@@ -197,11 +197,11 @@ func (d *Device) Put(batch []PutRecord) error {
 }
 
 // execPut is the firmware's atomic-batch handler. It runs on a pipeline
-// worker for a directly-dispatched batch, or on a coalescer actor for a
-// group commit carrying several merged Put commands (the records of one
-// merged command are contiguous, and the coalescer guarantees the merged
-// batch is free of duplicate keys).
-func (d *Device) execPut(batch []cmdq.Record) error {
+// worker for a directly-dispatched batch (merged == 0), or on a coalescer
+// actor for a group commit carrying several merged Put commands (merged ==
+// how many; the records of one merged command are contiguous, and the
+// coalescer guarantees the merged batch is free of duplicate keys).
+func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 	// Phase 1a: lock every touched index entry, in sorted order.
 	keys := make([]nskey, 0, len(batch))
 	for _, r := range batch {
@@ -361,7 +361,13 @@ func (d *Device) execPut(batch []cmdq.Record) error {
 	d.nvMu.Lock()
 	d.nv.commitBatch(batchID)
 	d.nvMu.Unlock()
-	addStat(&d.stats.Puts, 1)
+	// A group commit acknowledges every merged Put command at once; Puts
+	// counts logical commands, not commits (CoalescerBatches counts those).
+	cmds := merged
+	if cmds < 1 {
+		cmds = 1
+	}
+	addStat(&d.stats.Puts, int64(cmds))
 	addStat(&d.stats.PutRecords, int64(len(batch)))
 	addStat(&d.stats.IndexProbes, int64(totalProbes))
 	d.keyLks.unlockAll(keys)

@@ -81,7 +81,7 @@ func (d *Device) execCommand(cmd *cmdq.Command) cmdq.Result {
 	case cmdq.OpGet:
 		res.Value, res.Err = d.execGet(cmd.Namespace, cmd.Key)
 	case cmdq.OpPut, cmdq.OpPutBatch:
-		res.Err = d.execPut(cmd.Records)
+		res.Err = d.execPut(cmd.Records, cmd.Merged)
 	case cmdq.OpSnapshot:
 		res.Namespace, res.Err = d.execSnapshot(cmd.Namespace)
 	default:

@@ -99,34 +99,61 @@ func statsLine(st kaml.Stats) string {
 // loop (this goroutine) admits up to maxInFlight commands, each executing
 // as its own simulation actor so the device sees real queue depth; a
 // writer goroutine serializes completions back to the wire in whatever
-// order they finish. Channel capacities equal the in-flight bound, so
-// actors never block on a real channel (which would stall the virtual
-// clock).
+// order they finish. Completions hand off through an unbounded
+// mutex-guarded queue whose critical sections never span I/O, so a
+// completing actor only ever blocks for the length of an append — a slow
+// or unreading TCP peer stalls the writer goroutine, never a simulation
+// actor (a bounded channel here would fill while the writer is stuck in a
+// send and freeze the shared virtual clock for every connection).
 func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 	type resp struct {
 		status  byte
 		id      uint64
 		payload []byte
 	}
-	respCh := make(chan resp, maxInFlight)
+	var (
+		respMu   sync.Mutex
+		respCond = sync.NewCond(&respMu)
+		respQ    []resp
+		respEOF  bool
+	)
 	slots := make(chan struct{}, maxInFlight)
 	var outstanding sync.WaitGroup
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		broken := false
-		for rp := range respCh {
-			if broken {
-				continue // drain so actors never block
+		for {
+			respMu.Lock()
+			for len(respQ) == 0 && !respEOF {
+				respCond.Wait()
 			}
-			if err := writeFrame(w, rp.status, rp.id, rp.payload); err != nil {
-				broken = true
-				conn.Close() // kick the reader loose
+			if len(respQ) == 0 {
+				respMu.Unlock()
+				return
+			}
+			batch := respQ
+			respQ = nil
+			respMu.Unlock()
+			if broken {
+				continue // keep draining; completions are just discarded
+			}
+			for _, rp := range batch {
+				if err := writeFrame(w, rp.status, rp.id, rp.payload); err != nil {
+					broken = true
+					conn.Close() // kick the reader loose
+					break
+				}
+			}
+			if broken {
 				continue
 			}
-			// Flush only when no completion is queued behind us: adjacent
-			// completions share one syscall, the pipelining win.
-			if len(respCh) == 0 {
+			// Flush only when no completion queued up behind us meanwhile:
+			// adjacent completions share one syscall, the pipelining win.
+			respMu.Lock()
+			more := len(respQ) > 0
+			respMu.Unlock()
+			if !more {
 				if err := w.Flush(); err != nil {
 					broken = true
 					conn.Close()
@@ -144,7 +171,10 @@ func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 		s.dev.Go(func() {
 			defer outstanding.Done()
 			status, pl := s.execFrame(kind, payload)
-			respCh <- resp{status, id, pl}
+			respMu.Lock()
+			respQ = append(respQ, resp{status, id, pl})
+			respMu.Unlock()
+			respCond.Signal()
 			<-slots
 		})
 	}
@@ -152,7 +182,10 @@ func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 	// acknowledged device-side or will be; abandoning them mid-actor is not
 	// an option), then retire the writer.
 	outstanding.Wait()
-	close(respCh)
+	respMu.Lock()
+	respEOF = true
+	respMu.Unlock()
+	respCond.Signal()
 	<-writerDone
 }
 
