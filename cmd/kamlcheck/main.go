@@ -1,0 +1,97 @@
+// Command kamlcheck is the deterministic model checker for the KAML device:
+// it explores seeded schedules (random workloads, concurrency shapes, fault
+// plans, power cuts) against the real firmware on a serialized virtual
+// clock, checks every recorded history for linearizability, batch
+// atomicity, snapshot consistency, and transaction serializability, and
+// greedily shrinks any failing scenario to a minimal reproducer.
+//
+// Explore a seed range:
+//
+//	go run ./cmd/kamlcheck -seeds 50 -ops 2000
+//
+// Replay one seed exactly (same seed => byte-identical history):
+//
+//	go run ./cmd/kamlcheck -seed 17 -ops 2000
+//
+// Self-test — prove the checker catches an injected atomicity bug:
+//
+//	go run ./cmd/kamlcheck -bug -seeds 30 -ops 250
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/kaml-ssd/kaml/internal/check"
+)
+
+func main() {
+	var (
+		seeds   = flag.Int("seeds", 20, "number of seeded scenarios to explore")
+		base    = flag.Int64("base", 0, "first seed of the range")
+		ops     = flag.Int("ops", 2000, "approximate operations per scenario")
+		seed    = flag.Int64("seed", -1, "replay exactly one seed (disables exploration)")
+		bug     = flag.Bool("bug", false, "arm the firmware's test-only split-batch-commit defect (checker self-test)")
+		shrink  = flag.Bool("shrink", true, "shrink a failing scenario to a minimal reproducer")
+		verbose = flag.Bool("v", false, "per-seed progress")
+		out     = flag.String("out", "", "on failure, write the failing seed and report to this file (CI artifact)")
+	)
+	flag.Parse()
+
+	if *seed >= 0 {
+		os.Exit(replay(*seed, *ops, *bug, *out, *shrink))
+	}
+
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Println(s) }
+	}
+	fail := check.Explore(*base, *seeds, *ops, *bug, progress)
+	if fail == nil {
+		fmt.Printf("ok: %d scenarios (seeds %d..%d, ~%d ops each), no violations\n",
+			*seeds, *base, *base+int64(*seeds)-1, *ops)
+		return
+	}
+	report(fail, *ops, *bug, *out, *shrink)
+	os.Exit(1)
+}
+
+func replay(seed int64, ops int, bug bool, out string, shrink bool) int {
+	sc := check.GenScenario(seed, ops, bug)
+	res := check.Run(sc)
+	fmt.Printf("seed %d: %d events, history sha256=%x\n",
+		seed, len(res.Events), sha256.Sum256(res.History))
+	if !res.Failed() {
+		fmt.Println("ok: no violations")
+		return 0
+	}
+	report(&check.Failure{Scenario: sc, Result: res}, ops, bug, out, shrink)
+	return 1
+}
+
+func report(fail *check.Failure, ops int, bug bool, out string, shrink bool) {
+	sc, res := fail.Scenario, fail.Result
+	fmt.Printf("\nVIOLATION at seed %d:\n%s", sc.Seed, check.FormatViolations(res.Violations))
+	if shrink {
+		fmt.Println("shrinking...")
+		small, sres := check.Shrink(sc, func(s string) { fmt.Println("  " + s) })
+		sc, res = small, sres
+		fmt.Printf("\nminimal reproducer:\n%s%s", sc, check.FormatViolations(res.Violations))
+	}
+	repro := fmt.Sprintf("go run ./cmd/kamlcheck -seed %d -ops %d", sc.Seed, ops)
+	if bug {
+		repro += " -bug"
+	}
+	fmt.Printf("\nreproduce with: %s\n", repro)
+	if out != "" {
+		artifact := fmt.Sprintf("seed=%d ops=%d bug=%v\n\n%s\n%s\nreproduce with: %s\n",
+			sc.Seed, ops, bug, sc, check.FormatViolations(res.Violations), repro)
+		if err := os.WriteFile(out, []byte(artifact), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+		} else {
+			fmt.Printf("failing-seed artifact written to %s\n", out)
+		}
+	}
+}

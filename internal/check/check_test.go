@@ -1,0 +1,324 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+// Crafted-history tests: feed hand-built event sequences to CheckHistory
+// and assert the checkers accept valid histories and reject the classic
+// anomalies. Builders below keep the cases readable.
+
+func putEv(id uint64, ns uint32, key, tag uint64, s, e int64, ek ErrKind) Event {
+	return Event{
+		ID: id, Op: kaml.OpPut,
+		Recs:  []Rec{{NS: ns, Key: key, Tag: tag, VLen: tagHdr}},
+		Start: time.Duration(s), End: time.Duration(e), Err: ek,
+	}
+}
+
+func batchEv(id uint64, ns uint32, keys, tags []uint64, s, e int64, ek ErrKind) Event {
+	recs := make([]Rec, len(keys))
+	for i := range keys {
+		recs[i] = Rec{NS: ns, Key: keys[i], Tag: tags[i], VLen: tagHdr}
+	}
+	return Event{ID: id, Op: kaml.OpPutBatch, Recs: recs,
+		Start: time.Duration(s), End: time.Duration(e), Err: ek}
+}
+
+// getEv observed tag (0 => ErrNotFound).
+func getEv(id uint64, ns uint32, key, tag uint64, s, e int64) Event {
+	ev := Event{
+		ID: id, Op: kaml.OpGet,
+		Recs:  []Rec{{NS: ns, Key: key}},
+		Start: time.Duration(s), End: time.Duration(e),
+		RetNS: ns,
+	}
+	if tag == 0 {
+		ev.Err = ErrNotFound
+	} else {
+		ev.RetTag, ev.Tagged, ev.RetLen = tag, true, tagHdr
+	}
+	return ev
+}
+
+func reopenEv(id uint64, s, e int64) Event {
+	return Event{ID: id, Op: kaml.OpReopen,
+		Start: time.Duration(s), End: time.Duration(e)}
+}
+
+func kinds(vs []Violation) map[string]int {
+	out := make(map[string]int)
+	for _, v := range vs {
+		out[v.Kind]++
+	}
+	return out
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	for _, tag := range []uint64{1, 0xdeadbeef, 1<<63 + 12345} {
+		for _, size := range []int{0, tagHdr, 64} {
+			v := EncodeValue(tag, size)
+			got, ok := DecodeTag(v)
+			if !ok || got != tag {
+				t.Fatalf("EncodeValue(%d,%d): decoded (%d,%v)", tag, size, got, ok)
+			}
+		}
+	}
+	if _, ok := DecodeTag([]byte("short")); ok {
+		t.Fatal("DecodeTag accepted a malformed value")
+	}
+}
+
+func TestValidHistoryPasses(t *testing.T) {
+	events := []Event{
+		putEv(1, 1, 7, 10, 0, 10, ErrNone),
+		getEv(2, 1, 7, 10, 20, 30),
+		putEv(3, 1, 7, 11, 40, 50, ErrNone),
+		getEv(4, 1, 7, 11, 60, 70),
+		getEv(5, 1, 8, 0, 60, 70), // never-written key: not found
+	}
+	if vs := CheckHistory(events); len(vs) != 0 {
+		t.Fatalf("valid history flagged: %+v", vs)
+	}
+}
+
+func TestConcurrentReadsEitherOrder(t *testing.T) {
+	// Two reads overlapping a write may split across it (old then new),
+	// but never new then old.
+	ok := []Event{
+		putEv(1, 1, 7, 10, 0, 10, ErrNone),
+		putEv(2, 1, 7, 11, 20, 60, ErrNone),
+		getEv(3, 1, 7, 10, 30, 40), // old, during the write
+		getEv(4, 1, 7, 11, 45, 55), // new, during the write
+	}
+	if vs := CheckHistory(ok); len(vs) != 0 {
+		t.Fatalf("legal interleaving flagged: %+v", vs)
+	}
+	bad := []Event{
+		putEv(1, 1, 7, 10, 0, 10, ErrNone),
+		putEv(2, 1, 7, 11, 20, 60, ErrNone),
+		getEv(3, 1, 7, 11, 30, 40), // new ...
+		getEv(4, 1, 7, 10, 45, 55), // ... then old again: stale read
+	}
+	if k := kinds(CheckHistory(bad)); k["linearizability"] == 0 {
+		t.Fatalf("stale read not caught: %+v", k)
+	}
+}
+
+func TestStaleReadCaught(t *testing.T) {
+	events := []Event{
+		putEv(1, 1, 7, 10, 0, 10, ErrNone),
+		putEv(2, 1, 7, 11, 20, 30, ErrNone),
+		getEv(3, 1, 7, 10, 40, 50), // observes the overwritten value
+	}
+	if k := kinds(CheckHistory(events)); k["linearizability"] == 0 {
+		t.Fatalf("stale read not caught: %+v", k)
+	}
+}
+
+func TestLostAckedWriteCaught(t *testing.T) {
+	events := []Event{
+		putEv(1, 1, 7, 10, 0, 10, ErrNone), // acknowledged
+		getEv(2, 1, 7, 0, 20, 30),          // ... yet gone
+	}
+	if k := kinds(CheckHistory(events)); k["linearizability"] == 0 {
+		t.Fatalf("lost acknowledged write not caught: %+v", k)
+	}
+}
+
+func TestReadOfNeverWrittenValueCaught(t *testing.T) {
+	events := []Event{getEv(1, 1, 7, 99, 0, 10)}
+	if k := kinds(CheckHistory(events)); k["linearizability"] == 0 {
+		t.Fatalf("phantom value not caught: %+v", k)
+	}
+}
+
+func TestMaybeWriteEitherWay(t *testing.T) {
+	// A power-lost write may be visible after recovery or not — both are
+	// legal. (End < 0: the ack never arrived.)
+	base := func(observed bool) []Event {
+		tag := uint64(0)
+		if observed {
+			tag = 11
+		}
+		return []Event{
+			putEv(1, 1, 7, 10, 0, 10, ErrNone),
+			putEv(2, 1, 7, 11, 20, -1, ErrPower),
+			reopenEv(3, 40, 50),
+			getEv(4, 1, 7, tagOr(tag, 10), 60, 70),
+		}
+	}
+	for _, observed := range []bool{true, false} {
+		if vs := CheckHistory(base(observed)); len(vs) != 0 {
+			t.Fatalf("observed=%v: legal crash outcome flagged: %+v", observed, vs)
+		}
+	}
+	// But once recovery has settled it absent, it must stay absent.
+	resurrect := []Event{
+		putEv(1, 1, 7, 11, 0, -1, ErrPower),
+		reopenEv(2, 20, 30),
+		getEv(3, 1, 7, 0, 40, 50),  // recovered as absent...
+		getEv(4, 1, 7, 11, 60, 70), // ...then the lost write reappears
+	}
+	if k := kinds(CheckHistory(resurrect)); k["linearizability"] == 0 {
+		t.Fatalf("post-recovery resurrection not caught: %+v", k)
+	}
+}
+
+func tagOr(tag, fallback uint64) uint64 {
+	if tag == 0 {
+		return fallback
+	}
+	return tag
+}
+
+func TestTornBatchCaught(t *testing.T) {
+	// A power-lost two-record batch: after recovery one record is visible
+	// and the other is not — all-or-nothing violated.
+	torn := []Event{
+		batchEv(1, 1, []uint64{7, 8}, []uint64{10, 11}, 0, -1, ErrPower),
+		reopenEv(2, 20, 30),
+		getEv(3, 1, 7, 10, 40, 50), // record 0 survived
+		getEv(4, 1, 8, 0, 40, 50),  // record 1 vanished
+	}
+	if k := kinds(CheckHistory(torn)); k["batch-atomicity"] == 0 {
+		t.Fatalf("torn batch not caught: %+v", kinds(CheckHistory(torn)))
+	}
+	// Fully applied and fully vanished are both fine.
+	for _, tags := range [][2]uint64{{10, 11}, {0, 0}} {
+		whole := []Event{
+			batchEv(1, 1, []uint64{7, 8}, []uint64{10, 11}, 0, -1, ErrPower),
+			reopenEv(2, 20, 30),
+			getEv(3, 1, 7, tags[0], 40, 50),
+			getEv(4, 1, 8, tags[1], 40, 50),
+		}
+		if vs := CheckHistory(whole); len(vs) != 0 {
+			t.Fatalf("legal crash outcome %v flagged: %+v", tags, vs)
+		}
+	}
+}
+
+func snapEv(id uint64, src, created uint32, s, e int64) Event {
+	return Event{ID: id, Op: kaml.OpSnapshot,
+		Recs: []Rec{{NS: src}}, RetNS: created,
+		Start: time.Duration(s), End: time.Duration(e)}
+}
+
+func TestSnapshotTornCaught(t *testing.T) {
+	// Two reads through one snapshot must agree: the snapshot is a single
+	// point in time.
+	events := []Event{
+		putEv(1, 1, 7, 10, 0, 10, ErrNone),
+		snapEv(2, 1, 9, 20, 30),
+		putEv(3, 1, 7, 11, 40, 50, ErrNone),
+		getEv(4, 9, 7, 10, 60, 70), // snapshot read: pre-overwrite value
+		getEv(5, 9, 7, 11, 80, 90), // same snapshot: post-overwrite value
+	}
+	if k := kinds(CheckHistory(events)); k["snapshot"] == 0 {
+		t.Fatalf("torn snapshot not caught: %+v", k)
+	}
+	// A consistent snapshot passes, even read long after later writes.
+	okEvents := []Event{
+		putEv(1, 1, 7, 10, 0, 10, ErrNone),
+		snapEv(2, 1, 9, 20, 30),
+		putEv(3, 1, 7, 11, 40, 50, ErrNone),
+		getEv(4, 9, 7, 10, 60, 70),
+		getEv(5, 9, 7, 10, 80, 90),
+		getEv(6, 1, 7, 11, 80, 90), // the live namespace moved on
+	}
+	if vs := CheckHistory(okEvents); len(vs) != 0 {
+		t.Fatalf("consistent snapshot flagged: %+v", vs)
+	}
+}
+
+func txnReadEv(id, txn uint64, ns uint32, key, tag uint64, s, e int64) Event {
+	ev := Event{ID: id, Op: kaml.OpTxnRead, Txn: txn,
+		Recs:  []Rec{{NS: ns, Key: key}},
+		Start: time.Duration(s), End: time.Duration(e), RetNS: ns}
+	if tag == 0 {
+		ev.Err = ErrNotFound
+	} else {
+		ev.RetTag, ev.Tagged, ev.RetLen = tag, true, tagHdr
+	}
+	return ev
+}
+
+func txnUpdateEv(id, txn uint64, ns uint32, key, tag uint64, s, e int64) Event {
+	return Event{ID: id, Op: kaml.OpTxnUpdate, Txn: txn,
+		Recs:  []Rec{{NS: ns, Key: key, Tag: tag, VLen: tagHdr}},
+		Start: time.Duration(s), End: time.Duration(e)}
+}
+
+func txnCommitEv(id, txn uint64, s, e int64) Event {
+	return Event{ID: id, Op: kaml.OpTxnCommit, Txn: txn,
+		Start: time.Duration(s), End: time.Duration(e)}
+}
+
+func TestTxnWriteSkewCycleCaught(t *testing.T) {
+	// Classic non-serializable execution: each transaction reads the value
+	// the other one overwrites, so each must precede the other.
+	events := []Event{
+		putEv(1, 1, 1, 100, 0, 5, ErrNone),
+		putEv(2, 1, 2, 200, 0, 5, ErrNone),
+		txnReadEv(3, 1, 1, 1, 100, 10, 20),   // T1 reads k1 (pre-T2)
+		txnReadEv(4, 2, 1, 2, 200, 10, 20),   // T2 reads k2 (pre-T1)
+		txnUpdateEv(5, 1, 1, 2, 210, 20, 25), // T1 overwrites k2
+		txnUpdateEv(6, 2, 1, 1, 110, 20, 25), // T2 overwrites k1
+		txnCommitEv(7, 1, 30, 40),
+		txnCommitEv(8, 2, 30, 40),
+		getEv(9, 1, 1, 110, 50, 60),
+		getEv(10, 1, 2, 210, 50, 60),
+	}
+	if k := kinds(CheckHistory(events)); k["serializability"] == 0 {
+		t.Fatalf("write-skew cycle not caught: %+v", k)
+	}
+	// The serial version of the same work is fine: T1 wholly before T2.
+	serial := []Event{
+		putEv(1, 1, 1, 100, 0, 5, ErrNone),
+		putEv(2, 1, 2, 200, 0, 5, ErrNone),
+		txnReadEv(3, 1, 1, 1, 100, 10, 12),
+		txnUpdateEv(4, 1, 1, 2, 210, 12, 14),
+		txnCommitEv(5, 1, 14, 16),
+		txnReadEv(6, 2, 1, 2, 210, 20, 22),
+		txnUpdateEv(7, 2, 1, 1, 110, 22, 24),
+		txnCommitEv(8, 2, 24, 26),
+		getEv(9, 1, 1, 110, 50, 60),
+		getEv(10, 1, 2, 210, 50, 60),
+	}
+	if vs := CheckHistory(serial); len(vs) != 0 {
+		t.Fatalf("serial execution flagged: %+v", vs)
+	}
+}
+
+func TestAbortedTxnWritesExcluded(t *testing.T) {
+	// An aborted transaction's writes must never be treated as applied;
+	// its reads are still genuine observations.
+	events := []Event{
+		putEv(1, 1, 1, 100, 0, 5, ErrNone),
+		txnReadEv(2, 1, 1, 1, 100, 10, 20),
+		txnUpdateEv(3, 1, 1, 1, 110, 20, 25),
+		{ID: 4, Op: kaml.OpTxnAbort, Txn: 1, Start: 30, End: 35},
+		getEv(5, 1, 1, 100, 40, 50), // still the old value
+	}
+	if vs := CheckHistory(events); len(vs) != 0 {
+		t.Fatalf("aborted txn handling flagged a legal history: %+v", vs)
+	}
+}
+
+func TestForceApplyRefutesDiscard(t *testing.T) {
+	// checkKey directly: a maybe-write that a post-recovery read refutes is
+	// fine normally (discard branch) but impossible under forceApply.
+	ops := []keyOp{
+		{tag: 11, start: 0, end: 30, maybe: true, ev: 1, node: -1},
+		{read: true, tag: 0, start: 40, end: 50, ev: 2, node: -1},
+	}
+	if res, _ := checkKey(ops, 0); res != keyOK {
+		t.Fatalf("discardable maybe-write rejected: %v", res)
+	}
+	if res, _ := checkKey(ops, 1); res != keyViolation {
+		t.Fatalf("forceApply did not refute: %v", res)
+	}
+}

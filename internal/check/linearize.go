@@ -1,0 +1,214 @@
+package check
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// keyOp is one operation projected onto a single (root namespace, key):
+// either a read that observed tag (0 = absent) or a write of tag. A "maybe"
+// write completed with power loss or never completed at all — it may or may
+// not have taken effect, so the checker may either apply it or discard it.
+type keyOp struct {
+	read  bool
+	tag   uint64
+	start int64 // virtual ns
+	end   int64 // math.MaxInt64 for pending/maybe ops
+	maybe bool
+	ev    uint64 // event ID, for reports
+	node  int    // conflict-graph node (batch/txn/snapshot), -1 for none
+}
+
+type keyCheckResult uint8
+
+const (
+	keyOK keyCheckResult = iota
+	keyViolation
+	keyInconclusive // search budget exhausted before a verdict
+)
+
+// dfsBudget bounds the per-key search. Histories the explorer produces are
+// register histories with heavy real-time ordering, so the memoized DFS
+// normally terminates in a tiny fraction of this.
+const dfsBudget = 1 << 21
+
+// forbidNone / forbidInitial are sentinels for checkKeyConstrained's
+// forbidden-order pair: forbidNone disables the constraint; forbidInitial as
+// the first index means "the initial absent state", whose version trivially
+// precedes every write — so the constrained search must avoid applying the
+// second index at all.
+const (
+	forbidNone    = -1
+	forbidInitial = -2
+)
+
+// checkKey decides whether ops is linearizable against a single-value
+// register that starts absent (tag 0), in the style of Wing & Gong's
+// algorithm with the Lowe memoization: repeatedly pick a minimal op (one no
+// unlinearized op precedes in real time), apply it to the model, and
+// backtrack on contradiction. Maybe-writes add a "discard" branch.
+//
+// forceApply, when nonzero, names an event whose maybe-writes lose their
+// discard branch — the batch-atomicity check uses it to ask "could this
+// batch have been applied on this key?".
+//
+// On success the returned witness lists op indices in linearization order,
+// with discarded maybe-writes encoded as ^i.
+func checkKey(ops []keyOp, forceApply uint64) (keyCheckResult, []int) {
+	var forced map[uint64]struct{}
+	if forceApply != 0 {
+		forced = map[uint64]struct{}{forceApply: {}}
+	}
+	return checkKeyConstrained(ops, forced, forbidNone, forbidNone)
+}
+
+// checkKeyConstrained is checkKey with two generalizations the
+// serializability checker needs to prove an edge forced:
+//
+//   - forced is a set of event IDs whose maybe-writes lose their discard
+//     branch (a maybe-batch observed on ANY key must be applied on every
+//     key, so a reversal witness may not quietly drop its writes here);
+//   - (forbidA, forbidB) prunes every witness that applies forbidB's write
+//     while forbidA's write is applied — i.e. it searches for a witness in
+//     which forbidA does NOT version-precede forbidB. forbidA ==
+//     forbidInitial forbids applying forbidB at all.
+//
+// keyViolation therefore means "no such witness exists": the A-before-B
+// version order is forced by the observations on this key.
+func checkKeyConstrained(ops []keyOp, forced map[uint64]struct{}, forbidA, forbidB int) (keyCheckResult, []int) {
+	n := len(ops)
+	if n == 0 {
+		return keyOK, nil
+	}
+	// Sorting by (start, end) keeps candidate iteration deterministic and
+	// tends to visit the true linearization first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sortInts(order, func(a, b int) bool {
+		if ops[a].start != ops[b].start {
+			return ops[a].start < ops[b].start
+		}
+		if ops[a].end != ops[b].end {
+			return ops[a].end < ops[b].end
+		}
+		return ops[a].ev < ops[b].ev
+	})
+
+	words := (n + 63) / 64
+	mask := make([]uint64, words)
+	witness := make([]int, 0, n)
+	memo := make(map[string]struct{})
+	budget := dfsBudget
+	done := 0
+	aApplied := forbidA == forbidInitial // the initial state is always "applied"
+
+	memoKey := func(cur uint64) string {
+		// aApplied is part of the search state: the same mask can be reached
+		// with forbidA applied or discarded, and only one of those may
+		// continue past forbidB.
+		buf := make([]byte, words*8+9)
+		for w, v := range mask {
+			binary.LittleEndian.PutUint64(buf[w*8:], v)
+		}
+		binary.LittleEndian.PutUint64(buf[words*8:], cur)
+		if aApplied {
+			buf[words*8+8] = 1
+		}
+		return string(buf)
+	}
+	has := func(i int) bool { return mask[i/64]&(1<<uint(i%64)) != 0 }
+	set := func(i int) { mask[i/64] |= 1 << uint(i%64) }
+	clear := func(i int) { mask[i/64] &^= 1 << uint(i%64) }
+
+	var dfs func(cur uint64) bool
+	dfs = func(cur uint64) bool {
+		if done == n {
+			return true
+		}
+		if budget <= 0 {
+			return false
+		}
+		mk := memoKey(cur)
+		if _, seen := memo[mk]; seen {
+			return false
+		}
+		minEnd := int64(math.MaxInt64)
+		for _, i := range order {
+			if !has(i) && ops[i].end < minEnd {
+				minEnd = ops[i].end
+			}
+		}
+		for _, i := range order {
+			if has(i) {
+				continue
+			}
+			o := &ops[i]
+			if o.start > minEnd {
+				break // order is start-sorted; nothing later is minimal either
+			}
+			budget--
+			if o.read {
+				if o.tag != cur {
+					continue
+				}
+				set(i)
+				done++
+				witness = append(witness, i)
+				if dfs(cur) {
+					return true
+				}
+				witness = witness[:len(witness)-1]
+				done--
+				clear(i)
+				continue
+			}
+			// Write: apply it (unless that realizes the forbidden order)...
+			set(i)
+			done++
+			if i != forbidB || !aApplied {
+				wasA := aApplied
+				if i == forbidA {
+					aApplied = true
+				}
+				witness = append(witness, i)
+				if dfs(o.tag) {
+					return true
+				}
+				witness = witness[:len(witness)-1]
+				aApplied = wasA
+			}
+			// ...or, if it is a maybe-write (and not pinned), discard it.
+			if _, pinned := forced[o.ev]; o.maybe && !pinned {
+				witness = append(witness, ^i)
+				if dfs(cur) {
+					return true
+				}
+				witness = witness[:len(witness)-1]
+			}
+			done--
+			clear(i)
+		}
+		memo[mk] = struct{}{}
+		return false
+	}
+
+	if dfs(0) {
+		return keyOK, append([]int(nil), witness...)
+	}
+	if budget <= 0 {
+		return keyInconclusive, nil
+	}
+	return keyViolation, nil
+}
+
+// sortInts is sort.Slice specialized to avoid reflect in the hot checker
+// loop (tiny slices, called once per key).
+func sortInts(s []int, less func(a, b int) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package check
+
+import (
+	"math"
+	"sort"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+// nodeKind labels a conflict-graph node for reports.
+type nodeKind uint8
+
+const (
+	nodeBatch nodeKind = iota
+	nodeTxn
+	nodeSnap
+)
+
+// graphNode is one multi-operation unit in the serializability analysis: a
+// multi-record device batch, a committed Cache transaction, or a snapshot
+// (a read-only "transaction" observing one point in time).
+type graphNode struct {
+	kind  nodeKind
+	ev    uint64 // defining event: batch event, commit event, snapshot event
+	txn   uint64
+	start int64
+	end   int64
+}
+
+// nsKey identifies one register: a key within a root namespace (snapshot
+// reads are folded onto the root their records were written under).
+type nsKey struct {
+	ns  uint32
+	key uint64
+}
+
+// maybeBatch is an acknowledged-as-failed (or never-acknowledged)
+// multi-record batch: the all-or-nothing crash check asks, for every key it
+// touched, whether its apply/discard status is observably consistent.
+type maybeBatch struct {
+	ev   uint64
+	tags map[uint64]nsKey // write tag -> the key it was written under
+}
+
+// model is the checker's view of one recorded history.
+type model struct {
+	events []Event
+	byID   map[uint64]*Event
+
+	// snapRoot maps every namespace to the root namespace whose records it
+	// serves; snapInterval gives the point-in-time window of snapshot
+	// namespaces (the original snapshot's invocation interval).
+	snapRoot     map[uint32]uint32
+	snapInterval map[uint32][2]int64
+	snapNode     map[uint32]int
+
+	nodes  []graphNode
+	keys   map[nsKey][]keyOp
+	maybes []maybeBatch
+
+	violations []Violation
+}
+
+// Violation is one checker finding.
+type Violation struct {
+	Kind   string // "linearizability", "batch-atomicity", "snapshot", "serializability", "inconclusive"
+	Detail string
+}
+
+func end64(ev *Event) int64 {
+	if ev.End < 0 {
+		return math.MaxInt64
+	}
+	return int64(ev.End)
+}
+
+// buildModel projects the raw event history onto per-key register histories
+// plus the conflict-graph node set. The projection rules:
+//
+//   - acknowledged writes (Put/PutBatch/committed-txn writes) must take
+//     effect exactly once; power-loss or pending writes become maybe-ops;
+//     writes that failed with a definite error are excluded;
+//   - reads contribute the tag they observed (0 = absent); reads that
+//     failed with power loss or transient errors claim nothing;
+//   - a Get on a snapshot namespace becomes a read on the root key at the
+//     snapshot's creation interval, attached to the snapshot's node — all
+//     of a snapshot's reads must be explainable at one shared instant;
+//   - a committed transaction's reads and writes attach to the txn's node
+//     (reads at their own lock-protected intervals, writes at the commit
+//     interval).
+func buildModel(events []Event) *model {
+	m := &model{
+		events:       events,
+		byID:         make(map[uint64]*Event, len(events)),
+		snapRoot:     make(map[uint32]uint32),
+		snapInterval: make(map[uint32][2]int64),
+		snapNode:     make(map[uint32]int),
+		keys:         make(map[nsKey][]keyOp),
+	}
+	for i := range events {
+		m.byID[events[i].ID] = &events[i]
+	}
+
+	// Pass 0: successful recovery completions. A write interrupted by a
+	// power cut ("maybe" op) is free to take effect or vanish — but only
+	// until recovery finishes: Reopen discards uncommitted batches and
+	// replays committed staging values, so by its completion the write's
+	// fate is settled. Clamping maybe-intervals there is what lets the
+	// forced-apply atomicity check refute a torn batch against
+	// post-recovery reads (an unbounded maybe-write could always be
+	// linearized after every read that missed it).
+	type reopenSpan struct{ start, end int64 }
+	var reopens []reopenSpan
+	for i := range events {
+		ev := &events[i]
+		if ev.Op == kaml.OpReopen && ev.Err == ErrNone && ev.End >= 0 {
+			reopens = append(reopens, reopenSpan{int64(ev.Start), int64(ev.End)})
+		}
+	}
+	sort.Slice(reopens, func(i, j int) bool { return reopens[i].start < reopens[j].start })
+	// maybeEnd bounds a maybe-write that was invoked at start: the end of
+	// the first successful recovery after it, or forever if none followed.
+	maybeEnd := func(start int64) int64 {
+		for _, r := range reopens {
+			if r.start >= start {
+				return r.end
+			}
+		}
+		return math.MaxInt64
+	}
+
+	// Pass 1: successful snapshots define namespace roots and intervals.
+	for i := range events {
+		ev := &events[i]
+		if ev.Op != kaml.OpSnapshot || ev.Err != ErrNone || len(ev.Recs) == 0 {
+			continue
+		}
+		src, created := ev.Recs[0].NS, ev.RetNS
+		root, interval := src, [2]int64{int64(ev.Start), end64(ev)}
+		if r, ok := m.snapRoot[src]; ok {
+			// Snapshot of a snapshot: it shows the source snapshot's
+			// contents, i.e. the root at the ORIGINAL interval.
+			root = r
+			if iv, ok2 := m.snapInterval[src]; ok2 {
+				interval = iv
+			}
+		}
+		m.snapRoot[created] = root
+		m.snapInterval[created] = interval
+		m.snapNode[created] = len(m.nodes)
+		m.nodes = append(m.nodes, graphNode{
+			kind: nodeSnap, ev: ev.ID,
+			start: interval[0], end: interval[1],
+		})
+	}
+	rootOf := func(ns uint32) uint32 {
+		if r, ok := m.snapRoot[ns]; ok {
+			return r
+		}
+		return ns
+	}
+	addOp := func(ns uint32, key uint64, op keyOp) {
+		k := nsKey{ns: rootOf(ns), key: key}
+		m.keys[k] = append(m.keys[k], op)
+	}
+	// writeEnd gives a write's interval end: acknowledged writes end at the
+	// ack; maybe-writes stay open until the next recovery settles them.
+	writeEnd := func(ev *Event, maybe bool) int64 {
+		if maybe {
+			return maybeEnd(int64(ev.Start))
+		}
+		return end64(ev)
+	}
+
+	// Pass 2: transactions. Group events by txn handle; only committed
+	// transactions contribute writes, but every transaction's successful
+	// reads are genuine observations of committed state (SS2PL never
+	// reads dirty data).
+	type txnInfo struct {
+		first  *Event // first operation (for the node's start time)
+		commit *Event
+		writes []Rec // final write per key, in order
+		wIdx   map[nsKey]int
+		// wTags holds EVERY tag the txn ever staged (including overwritten
+		// intermediate writes): a read observing any of them saw the txn's
+		// own uncommitted data, not device state.
+		wTags map[uint64]struct{}
+	}
+	txns := make(map[uint64]*txnInfo)
+	txnOrder := []uint64{}
+	for i := range events {
+		ev := &events[i]
+		if ev.Txn == 0 {
+			continue
+		}
+		ti := txns[ev.Txn]
+		if ti == nil {
+			ti = &txnInfo{wIdx: make(map[nsKey]int), wTags: make(map[uint64]struct{})}
+			txns[ev.Txn] = ti
+			txnOrder = append(txnOrder, ev.Txn)
+		}
+		if ti.first == nil && (ev.Op == kaml.OpTxnRead || ev.Op == kaml.OpTxnUpdate || ev.Op == kaml.OpTxnInsert) {
+			ti.first = ev
+		}
+		switch ev.Op {
+		case kaml.OpTxnUpdate, kaml.OpTxnInsert:
+			if ev.Err == ErrNone && len(ev.Recs) == 1 {
+				rec := ev.Recs[0]
+				if rec.Tag != 0 {
+					ti.wTags[rec.Tag] = struct{}{}
+				}
+				k := nsKey{ns: rootOf(rec.NS), key: rec.Key}
+				if j, ok := ti.wIdx[k]; ok {
+					ti.writes[j] = rec // later write to the same key wins
+				} else {
+					ti.wIdx[k] = len(ti.writes)
+					ti.writes = append(ti.writes, rec)
+				}
+			}
+		case kaml.OpTxnCommit:
+			ti.commit = ev
+		}
+	}
+	txnNode := make(map[uint64]int)
+	for _, id := range txnOrder {
+		ti := txns[id]
+		if ti.commit == nil || ti.commit.Err == ErrAborted || ti.commit.Err == ErrOther {
+			continue // no committed writes; reads handled below
+		}
+		if len(ti.writes) == 0 && ti.commit.Err != ErrNone {
+			continue
+		}
+		start := int64(ti.commit.Start)
+		if ti.first != nil {
+			start = int64(ti.first.Start)
+		}
+		txnNode[id] = len(m.nodes)
+		m.nodes = append(m.nodes, graphNode{
+			kind: nodeTxn, ev: ti.commit.ID, txn: id,
+			start: start, end: end64(ti.commit),
+		})
+		maybe := ti.commit.Err == ErrPower || ti.commit.End < 0
+		for _, rec := range ti.writes {
+			addOp(rec.NS, rec.Key, keyOp{
+				tag:   rec.Tag,
+				start: int64(ti.commit.Start), end: writeEnd(ti.commit, maybe),
+				maybe: maybe, ev: ti.commit.ID, node: txnNode[id],
+			})
+		}
+		if maybe && len(ti.writes) > 1 {
+			mb := maybeBatch{ev: ti.commit.ID, tags: make(map[uint64]nsKey)}
+			for _, rec := range ti.writes {
+				mb.tags[rec.Tag] = nsKey{ns: rootOf(rec.NS), key: rec.Key}
+			}
+			m.maybes = append(m.maybes, mb)
+		}
+	}
+
+	// Pass 3: device operations and transactional reads.
+	for i := range events {
+		ev := &events[i]
+		switch ev.Op {
+		case kaml.OpGet:
+			if len(ev.Recs) != 1 {
+				continue
+			}
+			rec := ev.Recs[0]
+			tag, ok, viol := readObservation(ev)
+			if viol != "" {
+				m.violations = append(m.violations, Violation{Kind: "linearizability", Detail: viol})
+			}
+			if !ok {
+				continue
+			}
+			start, end := int64(ev.Start), end64(ev)
+			node := -1
+			if iv, snap := m.snapInterval[rec.NS]; snap {
+				// Snapshot read: it reflects the root's state at snapshot
+				// creation, whatever wall the Get itself ran at.
+				start, end = iv[0], iv[1]
+				node = m.snapNode[rec.NS]
+			}
+			addOp(rec.NS, rec.Key, keyOp{
+				read: true, tag: tag, start: start, end: end,
+				ev: ev.ID, node: node,
+			})
+		case kaml.OpTxnRead:
+			if len(ev.Recs) != 1 {
+				continue
+			}
+			rec := ev.Recs[0]
+			tag, ok, viol := readObservation(ev)
+			if viol != "" {
+				m.violations = append(m.violations, Violation{Kind: "serializability", Detail: viol})
+			}
+			if !ok {
+				continue
+			}
+			// Skip observations of the txn's own staged writes (committed
+			// or not — the txn always sees its own uncommitted data).
+			if ti := txns[ev.Txn]; ti != nil && tag != 0 {
+				if _, own := ti.wTags[tag]; own {
+					continue
+				}
+			}
+			node := -1
+			if nid, has := txnNode[ev.Txn]; has {
+				node = nid
+			}
+			addOp(rec.NS, rec.Key, keyOp{
+				read: true, tag: tag, start: int64(ev.Start), end: end64(ev),
+				ev: ev.ID, node: node,
+			})
+		case kaml.OpPut, kaml.OpPutBatch:
+			if ev.Err == ErrNotFound || ev.Err == ErrAborted || ev.Err == ErrOther {
+				continue // definite no-op
+			}
+			maybe := ev.Err == ErrPower || ev.End < 0
+			node := -1
+			if len(ev.Recs) > 1 {
+				node = len(m.nodes)
+				m.nodes = append(m.nodes, graphNode{
+					kind: nodeBatch, ev: ev.ID,
+					start: int64(ev.Start), end: end64(ev),
+				})
+			}
+			for _, rec := range ev.Recs {
+				if rec.Tag == 0 {
+					continue // untagged write; the checker cannot track it
+				}
+				addOp(rec.NS, rec.Key, keyOp{
+					tag:   rec.Tag,
+					start: int64(ev.Start), end: writeEnd(ev, maybe),
+					maybe: maybe, ev: ev.ID, node: node,
+				})
+			}
+			if maybe && len(ev.Recs) > 1 {
+				mb := maybeBatch{ev: ev.ID, tags: make(map[uint64]nsKey)}
+				for _, rec := range ev.Recs {
+					if rec.Tag != 0 {
+						mb.tags[rec.Tag] = nsKey{ns: rootOf(rec.NS), key: rec.Key}
+					}
+				}
+				m.maybes = append(m.maybes, mb)
+			}
+		}
+	}
+	return m
+}
+
+// readObservation extracts what a successful read claims. Returns the
+// observed tag, whether the read contributes to the model at all, and a
+// violation string for well-formed-but-impossible observations (a value the
+// harness never wrote).
+func readObservation(ev *Event) (tag uint64, ok bool, violation string) {
+	switch ev.Err {
+	case ErrNone:
+		if !ev.Tagged {
+			if ev.RetLen > 0 {
+				return 0, false, "" // foreign (untagged) value: not modeled
+			}
+			return 0, false, ""
+		}
+		return ev.RetTag, true, ""
+	case ErrNotFound:
+		return 0, true, ""
+	default:
+		return 0, false, "" // power loss / transient error: claims nothing
+	}
+}
+
+// sortedKeys returns the model's registers in deterministic order.
+func (m *model) sortedKeys() []nsKey {
+	out := make([]nsKey, 0, len(m.keys))
+	for k := range m.keys {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ns != out[j].ns {
+			return out[i].ns < out[j].ns
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}

@@ -1,0 +1,268 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// shrinkBudget bounds how many candidate runs Shrink may spend.
+const shrinkBudget = 150
+
+// clone deep-copies the scenario so a candidate mutation never aliases the
+// original's program slices.
+func (sc *Scenario) clone() *Scenario {
+	c := *sc
+	c.Programs = make([][]opSpec, len(sc.Programs))
+	for i, p := range sc.Programs {
+		cp := make([]opSpec, len(p))
+		for j, op := range p {
+			cp[j] = op
+			cp[j].Keys = append([]uint64(nil), op.Keys...)
+		}
+		c.Programs[i] = cp
+	}
+	c.Txns = make([][][]txnOp, len(sc.Txns))
+	for i, txns := range sc.Txns {
+		ct := make([][]txnOp, len(txns))
+		for j, t := range txns {
+			ct[j] = append([]txnOp(nil), t...)
+		}
+		c.Txns[i] = ct
+	}
+	return &c
+}
+
+// opCount is the shrink metric: total program steps across all actors.
+func (sc *Scenario) opCount() int {
+	n := 0
+	for _, p := range sc.Programs {
+		n += len(p)
+	}
+	for _, txns := range sc.Txns {
+		for _, t := range txns {
+			n += len(t)
+		}
+	}
+	return n
+}
+
+// Shrink greedily minimizes a failing scenario while it keeps failing:
+// drop whole workers, ddmin-style chunks of each program, whole
+// transactions, extra rounds, and trailing batch/burst/snapshot-read keys.
+// Returns the smallest still-failing scenario found and its result.
+func Shrink(sc *Scenario, progress func(string)) (*Scenario, *RunResult) {
+	best := sc
+	bestRes := Run(sc)
+	if !bestRes.Failed() {
+		return sc, bestRes // not reproducible — nothing to shrink
+	}
+	budget := shrinkBudget
+	try := func(cand *Scenario) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		res := Run(cand)
+		if res.Failed() {
+			best, bestRes = cand, res
+			if progress != nil {
+				progress(fmt.Sprintf("shrunk to %d ops (%d runs left)", cand.opCount(), budget))
+			}
+			return true
+		}
+		return false
+	}
+
+	// Pass 1: drop whole device workers, then whole txn workers.
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for i := 0; i < len(best.Programs) && budget > 0; i++ {
+			c := best.clone()
+			c.Programs = append(c.Programs[:i], c.Programs[i+1:]...)
+			if try(c) {
+				changed = true
+				break
+			}
+		}
+		for i := 0; i < len(best.Txns) && budget > 0; i++ {
+			c := best.clone()
+			c.Txns = append(c.Txns[:i], c.Txns[i+1:]...)
+			if try(c) {
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Pass 2: fewer rounds, and push the cut earlier.
+	for best.Rounds > 1 && budget > 0 {
+		c := best.clone()
+		c.Rounds--
+		if c.CutRound >= c.Rounds {
+			c.CutRound = c.Rounds - 1
+		}
+		if !try(c) {
+			break
+		}
+	}
+
+	// Pass 3: ddmin over each worker's program — remove chunks, halving
+	// the chunk size until single ops.
+	for w := 0; w < len(best.Programs); w++ {
+		for chunk := len(best.Programs[w]); chunk >= 1 && budget > 0; chunk /= 2 {
+			for at := 0; at < len(best.Programs[w]) && budget > 0; {
+				if len(best.Programs[w]) <= 1 {
+					break
+				}
+				c := best.clone()
+				end := at + chunk
+				if end > len(c.Programs[w]) {
+					end = len(c.Programs[w])
+				}
+				c.Programs[w] = append(c.Programs[w][:at], c.Programs[w][end:]...)
+				if !try(c) {
+					at += chunk
+				}
+				// On success the same offset now holds different ops; retry it.
+			}
+		}
+	}
+
+	// Pass 4: drop whole transactions, then single txn ops.
+	for w := 0; w < len(best.Txns); w++ {
+		for i := 0; i < len(best.Txns[w]) && budget > 0; {
+			c := best.clone()
+			c.Txns[w] = append(c.Txns[w][:i], c.Txns[w][i+1:]...)
+			if !try(c) {
+				i++
+			}
+		}
+		for i := 0; i < len(best.Txns[w]) && budget > 0; i++ {
+			for j := 0; j < len(best.Txns[w][i]) && budget > 0; {
+				if len(best.Txns[w][i]) <= 1 {
+					break
+				}
+				c := best.clone()
+				c.Txns[w][i] = append(c.Txns[w][i][:j], c.Txns[w][i][j+1:]...)
+				if !try(c) {
+					j++
+				}
+			}
+		}
+	}
+
+	// Pass 5: shrink multi-key ops (batches, bursts, snapshot read sets).
+	for w := 0; w < len(best.Programs); w++ {
+		for i := 0; i < len(best.Programs[w]) && budget > 0; i++ {
+			for len(best.Programs[w][i].Keys) > 1 && budget > 0 {
+				c := best.clone()
+				c.Programs[w][i].Keys = c.Programs[w][i].Keys[:len(c.Programs[w][i].Keys)-1]
+				if !try(c) {
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 6: strip fault noise that is not needed to reproduce.
+	for _, mutate := range []func(*Scenario) bool{
+		func(c *Scenario) bool {
+			if c.ReadFailProb == 0 {
+				return false
+			}
+			c.ReadFailProb = 0
+			return true
+		},
+		func(c *Scenario) bool {
+			if c.ProgramFailProb == 0 {
+				return false
+			}
+			c.ProgramFailProb = 0
+			return true
+		},
+		func(c *Scenario) bool {
+			if !c.TornPageOnCut {
+				return false
+			}
+			c.TornPageOnCut = false
+			return true
+		},
+		func(c *Scenario) bool {
+			if !c.SmallIndex {
+				return false
+			}
+			c.SmallIndex = false
+			return true
+		},
+	} {
+		if budget <= 0 {
+			break
+		}
+		c := best.clone()
+		if mutate(c) {
+			try(c)
+		}
+	}
+
+	return best, bestRes
+}
+
+// String renders the scenario as a compact, human-readable schedule — the
+// "minimal reproducer" a violation report prints.
+func (sc *Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario seed=%d\n", sc.Seed)
+	fmt.Fprintf(&b, "  flash %dch x %dchips x %dblk x %dpg, logs=%d qd=%d pipeline=%d\n",
+		sc.Channels, sc.ChipsPerChannel, sc.BlocksPerChip, sc.PagesPerBlock,
+		sc.NumLogs, sc.QueueDepthPerLog, sc.PipelineDepth)
+	fmt.Fprintf(&b, "  coalesce window=%v max=%d shards=%d, ns=%d vsize=%d rounds=%d",
+		sc.CoalesceWindow, sc.MaxCoalesceRecords, sc.CoalesceShards,
+		sc.NSCount, sc.ValueSize, sc.Rounds)
+	if sc.SmallIndex {
+		b.WriteString(" small-index")
+	}
+	if sc.SplitCommitBug {
+		b.WriteString(" SPLIT-COMMIT-BUG")
+	}
+	b.WriteByte('\n')
+	if sc.ReadFailProb > 0 || sc.ProgramFailProb > 0 || sc.CutAfterPrograms > 0 {
+		fmt.Fprintf(&b, "  faults seed=%d readFail=%g progFail=%g cutAfterPrograms=%d torn=%v\n",
+			sc.FaultSeed, sc.ReadFailProb, sc.ProgramFailProb, sc.CutAfterPrograms, sc.TornPageOnCut)
+	}
+	if sc.CutRound >= 0 {
+		fmt.Fprintf(&b, "  nemesis: power cut in round %d after %v\n", sc.CutRound, sc.CutDelay)
+	}
+	kinds := map[opKind]string{opPut: "put", opGet: "get", opBatch: "batch", opBurst: "burst", opSnap: "snap", opTune: "tune"}
+	for w, prog := range sc.Programs {
+		fmt.Fprintf(&b, "  worker %d:", w)
+		for _, op := range prog {
+			fmt.Fprintf(&b, " %s%v", kinds[op.Kind], op.Keys)
+			if op.Arg != 0 {
+				fmt.Fprintf(&b, "/%d", op.Arg)
+			}
+			if op.Delay > 0 {
+				fmt.Fprintf(&b, "+%v", op.Delay)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for w, txns := range sc.Txns {
+		fmt.Fprintf(&b, "  txn worker %d:", w)
+		for _, t := range txns {
+			b.WriteString(" [")
+			for i, o := range t {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				if o.Read {
+					fmt.Fprintf(&b, "r%d", o.Key)
+				} else {
+					fmt.Fprintf(&b, "w%d", o.Key)
+				}
+			}
+			b.WriteByte(']')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

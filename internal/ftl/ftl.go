@@ -103,8 +103,9 @@ type Device struct {
 	// flight (the install swings mappings into the block).
 	pendingByBlock map[int]int
 
-	closed  bool
-	stopped *sim.WaitGroup // background actors
+	closed    bool
+	flushDone bool           // flusher has drained and exited
+	stopped   *sim.WaitGroup // background actors
 
 	stats Stats
 }
@@ -385,6 +386,7 @@ func (d *Device) flusherLoop() {
 			d.mu.Lock()
 		}
 		if d.buffer.len() == 0 && d.closed {
+			d.flushDone = true
 			d.mu.Unlock()
 			return
 		}

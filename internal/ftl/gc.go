@@ -13,10 +13,13 @@ func (d *Device) gcLoop() {
 	defer d.stopped.Done()
 	for {
 		d.mu.Lock()
-		closed := d.closed
+		// Keep collecting after Close until the flusher has drained: it may
+		// be starved for free blocks (its alloc-retry loop sleeps on GCPoll
+		// waiting for us), and exiting early would strand it forever.
+		done := d.closed && d.flushDone
 		needGC := d.alloc.freeBlockCount() < d.cfg.GCLowWater
 		d.mu.Unlock()
-		if closed {
+		if done {
 			return
 		}
 		if !needGC {
@@ -25,7 +28,7 @@ func (d *Device) gcLoop() {
 		}
 		for {
 			d.mu.Lock()
-			if d.alloc.freeBlockCount() >= d.cfg.GCHighWater || d.closed {
+			if d.alloc.freeBlockCount() >= d.cfg.GCHighWater || (d.closed && d.flushDone) {
 				d.mu.Unlock()
 				break
 			}

@@ -47,6 +47,7 @@ package kamlssd
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -92,6 +93,10 @@ type Config struct {
 	PipelineWorkers    int
 	CoalesceWindow     time.Duration
 	MaxCoalesceRecords int
+	// CoalesceShards sets the number of independent key-hash coalescer
+	// shards (0 = cmdq default). The model checker sweeps it as a
+	// concurrency-shape knob.
+	CoalesceShards int
 }
 
 // DefaultConfig matches DESIGN.md §5: one log per channel by default.
@@ -158,6 +163,11 @@ type Device struct {
 	closeBegun   atomic.Bool  // Close entered; pipeline drain in progress
 	flushersLive atomic.Int64 // flusher actors still running; GC outlives them
 	stopped      *sim.WaitGroup
+
+	// splitCommit is a test-only switch (TestingSplitBatchCommit) that
+	// deliberately breaks multi-record batch atomicity so the model
+	// checker's own detection can be validated. Never set in production.
+	splitCommit atomic.Bool
 
 	stats Stats
 }
@@ -285,6 +295,7 @@ func (d *Device) startActors() {
 		Workers:         d.cfg.PipelineWorkers,
 		CoalesceWindow:  d.cfg.CoalesceWindow,
 		MaxBatchRecords: d.cfg.MaxCoalesceRecords,
+		CoalesceShards:  d.cfg.CoalesceShards,
 		ClosedErr:       ErrClosed,
 	}, d.execCommand)
 	d.stopped = d.eng.NewWaitGroup()
@@ -549,7 +560,8 @@ func (d *Device) SetNamespaceLogs(id uint32, n int) error {
 	return nil
 }
 
-// Namespaces returns the live namespace IDs (diagnostics).
+// Namespaces returns the live namespace IDs in ascending order
+// (diagnostics).
 func (d *Device) Namespaces() []uint32 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -557,8 +569,30 @@ func (d *Device) Namespaces() []uint32 {
 	for id := range d.namespaces {
 		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
+
+// namespacesSorted returns every live namespace ordered by ID. Callers that
+// take per-namespace locks while walking the whole map must use this
+// instead of ranging d.namespaces — map order would randomize the
+// lock-acquisition schedule across runs. Called with d.mu held.
+func (d *Device) namespacesSorted() []*namespace {
+	out := make([]*namespace, 0, len(d.namespaces))
+	for _, ns := range d.namespaces {
+		out = append(out, ns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// TestingSplitBatchCommit, when enabled, deliberately BREAKS the atomic
+// multi-record Put protocol: the first record of every multi-record batch
+// is committed under its own NVRAM marker before the rest is staged, with a
+// widened virtual-time window in between. It exists solely so the model
+// checker's test suite can prove the harness detects (and shrinks) a real
+// atomicity violation; nothing in the firmware ever sets it.
+func (d *Device) TestingSplitBatchCommit(on bool) { d.splitCommit.Store(on) }
 
 // IndexLoadFactor reports the namespace mapping table's load factor.
 func (d *Device) IndexLoadFactor(id uint32) (float64, error) {

@@ -389,7 +389,7 @@ func (d *Device) relocateIndexPages(lg *logState, pages []flash.PPN) error {
 		}
 		addStat(&d.stats.Programs, 1)
 		d.mu.RLock()
-		for _, ns := range d.namespaces {
+		for _, ns := range d.namespacesSorted() {
 			ns.mu.Lock()
 			for i, p := range ns.swapPages {
 				if p == old {
@@ -408,7 +408,7 @@ func (d *Device) relocateIndexPages(lg *logState, pages []flash.PPN) error {
 func (d *Device) indexPageLive(ppn flash.PPN) bool {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	for _, ns := range d.namespaces {
+	for _, ns := range d.namespacesSorted() {
 		ns.mu.RLock()
 		for _, p := range ns.swapPages {
 			if p == ppn {

@@ -209,6 +209,19 @@ func (nv *NVRAM) value(seq uint64) ([]byte, bool) {
 	return e.val, true
 }
 
+// valueState returns the staged bytes for seq together with whether the
+// owning batch has committed. A value whose batch record is already retired
+// (every member durable) counts as committed — only values staged between
+// phase 1b and the commit marker report committed == false.
+func (nv *NVRAM) valueState(seq uint64) (val []byte, committed bool, ok bool) {
+	e, found := nv.values[seq]
+	if !found {
+		return nil, false, false
+	}
+	b := nv.batches[e.batch]
+	return e.val, b == nil || b.committed, true
+}
+
 // unflushed counts staged values whose flash copy is not yet installed —
 // the work Flush waits for.
 func (nv *NVRAM) unflushed() int {

@@ -92,14 +92,36 @@ func (d *Device) execGet(nsID uint32, key uint64) ([]byte, error) {
 	}
 	// nvValue copies a staged value out under the NVRAM lock (the
 	// buffer itself is pooled and may be recycled after release).
-	nvValue := func(loc location) ([]byte, bool) {
-		d.nvMu.Lock()
-		v, ok := d.nv.value(loc.seq())
-		if ok {
-			v = append([]byte(nil), v...)
+	//
+	// A staged value whose batch has no commit marker yet is NOT served:
+	// execPut installs index entries record by record (phase 1b) before
+	// the batch's single commit point, so the index can briefly point at
+	// a value that is not yet — and might never be — committed. Serving
+	// it would be a dirty read: if the batch aborts (power cut,
+	// mapping-table-full rollback) the host would have observed a value
+	// that officially never existed. Instead the reader waits out the
+	// window; the writer resolves it in bounded virtual time by either
+	// writing the marker or rolling the index back.
+	nvValue := func(loc location) ([]byte, bool, error) {
+		for {
+			d.nvMu.Lock()
+			v, committed, ok := d.nv.valueState(loc.seq())
+			if ok && committed {
+				v = append([]byte(nil), v...)
+			}
+			d.nvMu.Unlock()
+			if !ok {
+				return nil, false, nil
+			}
+			if committed {
+				return v, true, nil
+			}
+			if d.crashed.Load() || !d.arr.Powered() {
+				d.noticePowerLoss()
+				return nil, false, ErrPowerLoss
+			}
+			d.eng.Sleep(d.cfg.FlushPoll)
 		}
-		d.nvMu.Unlock()
-		return v, ok
 	}
 
 	loc, ok := lookup()
@@ -108,12 +130,17 @@ func (d *Device) execGet(nsID uint32, key uint64) ([]byte, error) {
 	}
 	if !loc.isFlash() {
 		// Logically committed but still in NVRAM; serve from the buffer.
-		if v, hit := nvValue(loc); hit {
+		v, hit, verr := nvValue(loc)
+		if verr != nil {
+			return nil, verr
+		}
+		if hit {
 			addStat(&d.stats.NVRAMHits, 1)
 			return v, nil
 		}
 		// The flusher installed the flash location between our index
-		// read and now; fall through with a fresh lookup.
+		// read and now (or the staging batch rolled back); fall through
+		// with a fresh lookup.
 		if loc, ok = lookup(); !ok {
 			return nil, err
 		}
@@ -128,7 +155,11 @@ func (d *Device) execGet(nsID uint32, key uint64) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		if !loc.isFlash() {
 			// Moved back into NVRAM by a concurrent update.
-			if v, hit := nvValue(loc); hit {
+			v, hit, verr := nvValue(loc)
+			if verr != nil {
+				return nil, verr
+			}
+			if hit {
 				return v, nil
 			}
 			if loc, ok = lookup(); !ok {
@@ -280,7 +311,21 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 		d.keyLks.unlockAll(keys)
 		return aerr
 	}
-	for _, r := range batch {
+	for i, r := range batch {
+		if i == 1 && d.splitCommit.Load() {
+			// Test-only atomicity hole (TestingSplitBatchCommit): commit
+			// the first record under its own marker, reopen a fresh batch
+			// for the rest, and widen the window with a sleep so readers,
+			// snapshots, and power cuts can land inside it. abort() below
+			// rolls back only the still-open batch, so a cut here leaves
+			// the first record committed — exactly the partial-batch
+			// visibility the model checker must catch.
+			d.nvMu.Lock()
+			d.nv.commitBatch(batchID)
+			batchID = d.nv.beginBatch()
+			d.nvMu.Unlock()
+			d.eng.Sleep(2 * time.Microsecond)
+		}
 		// sealPacker below may release the log mutex while blocked on
 		// queue space; a power cut can land in that window. Acknowledging
 		// this batch after the cut would break crash consistency, so

@@ -3,7 +3,6 @@ package kamlssd
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"github.com/kaml-ssd/kaml/internal/flash"
 	"github.com/kaml-ssd/kaml/internal/nvme"
@@ -303,10 +302,8 @@ func (d *Device) replayNVRAM(best map[uint32]map[uint64]uint64) error {
 	return nil
 }
 
-// familyMembersSorted is familyMembers with a deterministic order for
-// recovery. Called with d.mu held (read or write).
+// familyMembersSorted is a legacy alias: familyMembers itself now returns a
+// deterministic ID order. Called with d.mu held (read or write).
 func (d *Device) familyMembersSorted(root uint32) []*namespace {
-	out := d.familyMembers(root)
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
+	return d.familyMembers(root)
 }

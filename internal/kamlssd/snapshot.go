@@ -3,6 +3,7 @@ package kamlssd
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrReadOnly reports a Put against a snapshot namespace.
@@ -136,8 +137,11 @@ func familyRoot(ns *namespace) uint32 {
 }
 
 // familyMembers returns every live namespace that may reference records
-// written under root (the root itself plus its snapshots). Called with
-// d.mu held (read or write).
+// written under root (the root itself plus its snapshots), ordered by ID —
+// callers take per-namespace locks while iterating, and a map-order walk
+// would make the lock-acquisition schedule differ from run to run, breaking
+// the model checker's same-seed-same-history guarantee. Called with d.mu
+// held (read or write).
 func (d *Device) familyMembers(root uint32) []*namespace {
 	var out []*namespace
 	for _, ns := range d.namespaces {
@@ -145,5 +149,6 @@ func (d *Device) familyMembers(root uint32) []*namespace {
 			out = append(out, ns)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }

@@ -1,0 +1,69 @@
+package kvproto
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFramedRoundTrip fuzzes the binary framing layer (framed.go) from both
+// directions:
+//
+//   - decode: readFrame over arbitrary bytes must never panic, and whatever
+//     it accepts must re-encode via writeFrame to exactly the bytes it
+//     consumed (a frame is its own canonical form);
+//   - encode: interpreting the input as (kind, id, payload) must survive
+//     writeFrame -> readFrame unchanged.
+func FuzzFramedRoundTrip(f *testing.F) {
+	frame := func(kind byte, id uint64, payload []byte) []byte {
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := writeFrame(w, kind, id, payload); err != nil {
+			f.Fatal(err)
+		}
+		w.Flush()
+		return buf.Bytes()
+	}
+	getPayload := make([]byte, 12)
+	binary.BigEndian.PutUint32(getPayload[0:4], 1)
+	binary.BigEndian.PutUint64(getPayload[4:12], 7)
+	f.Add(frame(reqGet, 42, getPayload))
+	f.Add(frame(reqPut, 1, append(getPayload, []byte("value")...)))
+	f.Add(frame(reqStats, 0, nil))
+	f.Add([]byte{0, 0, 0, 9, stOK, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // over-length header
+	f.Add([]byte("KVP2\n"))               // handshake text, not a frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode side: accepting is optional, panicking is not.
+		kind, id, payload, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err == nil {
+			if len(payload) > maxFrame-9 {
+				t.Fatalf("readFrame accepted %d-byte payload above maxFrame", len(payload))
+			}
+			redone := frame(kind, id, payload)
+			if !bytes.Equal(redone, data[:len(redone)]) {
+				t.Fatalf("decoded frame does not re-encode to its own bytes:\n in=%x\nout=%x",
+					data[:len(redone)], redone)
+			}
+		}
+
+		// Encode side: (kind, id, payload) carved from the input.
+		if len(data) >= 9 {
+			k, rid := data[0], binary.BigEndian.Uint64(data[1:9])
+			pl := data[9:]
+			if len(pl) > maxFrame-9 {
+				pl = pl[:maxFrame-9]
+			}
+			rk, rrid, rpl, err := readFrame(bufio.NewReader(bytes.NewReader(frame(k, rid, pl))))
+			if err != nil {
+				t.Fatalf("round trip rejected: %v", err)
+			}
+			if rk != k || rrid != rid || !bytes.Equal(rpl, pl) {
+				t.Fatalf("round trip changed frame: kind %d->%d id %d->%d payload %d->%d bytes",
+					k, rk, rid, rrid, len(pl), len(rpl))
+			}
+		}
+	})
+}

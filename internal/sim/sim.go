@@ -17,6 +17,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -36,6 +37,14 @@ type Engine struct {
 	// waiters parked on mutexes/conds/semaphores; tracked only so that a
 	// true deadlock produces a diagnostic instead of a silent hang.
 	parked map[*parkToken]string
+
+	// Serialized scheduling (see Serialize): at most one actor executes at
+	// a time and every wakeup is deferred into ready, from which the next
+	// actor is drawn by the seeded schedRng once the current one parks.
+	serial   bool
+	schedRng *rand.Rand
+	ready    []*parkToken // woken (or freshly spawned) actors awaiting dispatch
+	spawned  bool         // any actor ever started (guards late Serialize)
 
 	idle          chan struct{} // closed & replaced each time actors reaches zero
 	watchdogArmed bool          // a stall watchdog timer is pending
@@ -57,11 +66,46 @@ func (e *Engine) Now() time.Duration {
 	return e.now
 }
 
+// Serialize switches the engine into serialized scheduling: at most one
+// actor executes at any moment, and whenever several actors are eligible to
+// run at the same virtual instant the next one is chosen by a PRNG seeded
+// with seed. Two engines serialized with the same seed and driven by the
+// same workload make identical scheduling decisions, which is what lets the
+// model checker replay a failing schedule from nothing but its seed — and
+// lets different seeds explore different interleavings of the same instant.
+//
+// Must be called before any actor is spawned.
+func (e *Engine) Serialize(seed int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spawned {
+		panic("sim: Serialize called after actors were spawned")
+	}
+	e.serial = true
+	e.schedRng = rand.New(rand.NewSource(seed))
+}
+
 // Go spawns fn as a new actor. It may be called from inside or outside the
-// simulation. The actor is runnable immediately.
+// simulation. The actor is runnable immediately (in serialized mode it is
+// queued for dispatch like any other wakeup).
 func (e *Engine) Go(name string, fn func()) {
 	e.mu.Lock()
 	e.actors++
+	e.spawned = true
+	if e.serial {
+		tok := newParkToken()
+		e.ready = append(e.ready, tok)
+		if e.runnable == 0 {
+			e.dispatchLocked()
+		}
+		e.mu.Unlock()
+		go func() {
+			<-tok.ch
+			defer e.exit(name)
+			fn()
+		}()
+		return
+	}
 	e.runnable++
 	e.mu.Unlock()
 	go func() {
@@ -81,7 +125,7 @@ func (e *Engine) exit(name string) {
 	e.actors--
 	e.runnable--
 	if e.runnable == 0 && e.actors > 0 {
-		e.advanceLocked()
+		e.unblockLocked()
 	}
 	if e.actors == 0 {
 		close(e.idle)
@@ -120,18 +164,53 @@ func (e *Engine) Sleep(d time.Duration) {
 }
 
 // blockLocked marks the calling actor as parked and, if it was the last
-// runnable actor, advances the clock. Caller holds e.mu.
+// runnable actor, lets the engine pick what runs next. Caller holds e.mu.
 func (e *Engine) blockLocked(tok *parkToken, why string) {
 	e.parked[tok] = why
 	e.runnable--
 	if e.runnable == 0 {
-		e.advanceLocked()
+		e.unblockLocked()
 	}
 }
 
-// wakeLocked transfers a parked actor back to runnable. Caller holds e.mu.
+// wakeLocked transfers a parked actor back to runnable. In serialized mode
+// the actor is only queued; it starts running when dispatchLocked draws it.
+// Caller holds e.mu.
 func (e *Engine) wakeLocked(tok *parkToken) {
 	delete(e.parked, tok)
+	if e.serial {
+		e.ready = append(e.ready, tok)
+		return
+	}
+	e.runnable++
+	close(tok.ch)
+}
+
+// unblockLocked runs when no actor is runnable: in serialized mode it
+// dispatches exactly one queued actor (advancing the clock first if the
+// queue is empty); otherwise it advances the clock, waking every actor due
+// at the next instant. Caller holds e.mu.
+func (e *Engine) unblockLocked() {
+	if !e.serial {
+		e.advanceLocked()
+		return
+	}
+	if len(e.ready) == 0 {
+		e.advanceLocked() // due timers feed e.ready via wakeLocked
+	}
+	if len(e.ready) > 0 {
+		e.dispatchLocked()
+	}
+}
+
+// dispatchLocked releases one actor drawn at seeded-random from the ready
+// queue. Caller holds e.mu; serialized mode only.
+func (e *Engine) dispatchLocked() {
+	i := e.schedRng.Intn(len(e.ready))
+	tok := e.ready[i]
+	copy(e.ready[i:], e.ready[i+1:])
+	e.ready[len(e.ready)-1] = nil
+	e.ready = e.ready[:len(e.ready)-1]
 	e.runnable++
 	close(tok.ch)
 }
@@ -179,7 +258,7 @@ func (e *Engine) armWatchdogLocked() {
 	time.AfterFunc(stallTimeout, func() {
 		e.mu.Lock()
 		e.watchdogArmed = false
-		stalled := e.runnable == 0 && len(e.timers) == 0 && len(e.parked) > 0
+		stalled := e.runnable == 0 && len(e.timers) == 0 && len(e.ready) == 0 && len(e.parked) > 0
 		if !stalled {
 			e.mu.Unlock()
 			return

@@ -33,6 +33,7 @@ package kaml
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/kaml-ssd/kaml/internal/cache"
@@ -87,6 +88,12 @@ type Options struct {
 	// flash array: seeded per-operation failure probabilities and/or a
 	// power cut at a chosen point. Crash-consistency tests sweep its seed.
 	Faults *FaultPlan
+	// Engine, when non-nil, runs the device on an existing virtual clock
+	// instead of a fresh one. The model checker uses this to serialize the
+	// engine (sim.Engine.Serialize) before Open and to run Open itself on a
+	// simulation actor, which makes the whole device lifecycle — including
+	// the background actors Open spawns — deterministic for a given seed.
+	Engine *sim.Engine
 }
 
 // FaultPlan mirrors the fault-injection configuration (see
@@ -132,20 +139,99 @@ func SmallOptions() Options {
 	return Options{Flash: fc, Transport: nvme.DefaultConfig(), Firmware: fw}
 }
 
+// Op identifies one public-API operation kind as observed by a HistoryTap.
+type Op uint8
+
+// Operation kinds reported to HistoryTap.OpInvoked.
+const (
+	OpGet Op = iota + 1
+	OpPut
+	OpPutBatch
+	OpSnapshot
+	OpTuneLogs
+	OpCrash
+	OpReopen
+	OpTxnRead
+	OpTxnUpdate
+	OpTxnInsert
+	OpTxnCommit
+	OpTxnAbort
+)
+
+// String names the operation kind.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "Get"
+	case OpPut:
+		return "Put"
+	case OpPutBatch:
+		return "PutBatch"
+	case OpSnapshot:
+		return "Snapshot"
+	case OpTuneLogs:
+		return "TuneLogs"
+	case OpCrash:
+		return "Crash"
+	case OpReopen:
+		return "Reopen"
+	case OpTxnRead:
+		return "TxnRead"
+	case OpTxnUpdate:
+		return "TxnUpdate"
+	case OpTxnInsert:
+		return "TxnInsert"
+	case OpTxnCommit:
+		return "TxnCommit"
+	case OpTxnAbort:
+		return "TxnAbort"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// HistoryTap observes the invocation and completion of every public-API
+// operation on a Device (and on transactions of its Caches). The model
+// checker implements it to record a timestamped operation history; see
+// internal/check.
+//
+// OpInvoked is called before the operation starts and returns an opaque ID;
+// OpCompleted is called with that ID when the caller observes the result.
+// For Get and TxnRead, value is the value returned to the caller; for
+// Snapshot, ns is the created snapshot's ID; for TuneLogs, the single
+// record's Key field carries the requested log count. txn is 0 for
+// non-transactional operations, else the handle returned by TxnBegan.
+//
+// Install a tap with SetHistoryTap before issuing operations and do not
+// change it while operations are in flight; implementations must be safe
+// for concurrent use by many actors.
+type HistoryTap interface {
+	OpInvoked(op Op, txn uint64, records []Record) uint64
+	OpCompleted(id uint64, ns Namespace, value []byte, err error)
+	TxnBegan() uint64
+}
+
 // Device is a simulated KAML SSD plus the simulation engine it runs on.
 type Device struct {
 	eng  *sim.Engine
 	arr  *flash.Array
 	dev  *kamlssd.Device
 	opts Options
+	tap  HistoryTap
 }
 
-// Open builds a device on a fresh virtual clock.
+// SetHistoryTap installs (or, with nil, removes) a history tap. Call it
+// before issuing operations; the tap survives Crash/Reopen.
+func (d *Device) SetHistoryTap(t HistoryTap) { d.tap = t }
+
+// Open builds a device on a fresh virtual clock (or on opts.Engine).
 func Open(opts Options) (*Device, error) {
 	if err := opts.Flash.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
+	eng := opts.Engine
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	arr := flash.New(eng, opts.Flash)
 	if opts.Faults != nil {
 		f := *opts.Faults
@@ -172,6 +258,7 @@ type CrashImage struct {
 	arr  *flash.Array
 	nv   *kamlssd.NVRAM
 	opts Options
+	tap  HistoryTap
 }
 
 // Crash cuts power to the device and waits for its internal actors to
@@ -181,9 +268,14 @@ type CrashImage struct {
 // In-flight operations fail with ErrPowerLoss; the device is unusable
 // afterwards — hand the image to Reopen.
 func (d *Device) Crash() *CrashImage {
+	var id uint64
+	if t := d.tap; t != nil {
+		id = t.OpInvoked(OpCrash, 0, nil)
+		defer func() { t.OpCompleted(id, 0, nil, nil) }()
+	}
 	d.dev.PowerFail()
 	d.dev.AwaitHalt()
-	return &CrashImage{eng: d.eng, arr: d.arr, nv: d.dev.NVRAM(), opts: d.opts}
+	return &CrashImage{eng: d.eng, arr: d.arr, nv: d.dev.NVRAM(), opts: d.opts, tap: d.tap}
 }
 
 // PowerCut cuts power without waiting for the device to halt — use it from
@@ -198,12 +290,19 @@ func (d *Device) PowerCut() { d.dev.PowerFail() }
 // returned device runs on the same virtual clock; Stats on it reports the
 // Recovered*/Replayed*/Dropped* counters. Call from a simulation actor.
 func Reopen(img *CrashImage) (*Device, error) {
+	var id uint64
+	if t := img.tap; t != nil {
+		id = t.OpInvoked(OpReopen, 0, nil)
+	}
 	ctrl := nvme.New(img.eng, img.opts.Transport)
 	dev, err := kamlssd.Recover(img.arr, ctrl, img.opts.Firmware, img.nv)
+	if t := img.tap; t != nil {
+		t.OpCompleted(id, 0, nil, err)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Device{eng: img.eng, arr: img.arr, dev: dev, opts: img.opts}, nil
+	return &Device{eng: img.eng, arr: img.arr, dev: dev, opts: img.opts, tap: img.tap}, nil
 }
 
 // Go runs fn as a simulation actor. All device operations must happen
@@ -288,12 +387,27 @@ func (d *Device) DeleteNamespace(ns Namespace) error {
 
 // Get retrieves the value stored under (ns, key).
 func (d *Device) Get(ns Namespace, key uint64) ([]byte, error) {
-	return d.dev.Get(ns, key)
+	t := d.tap
+	if t == nil {
+		return d.dev.Get(ns, key)
+	}
+	id := t.OpInvoked(OpGet, 0, []Record{{Namespace: ns, Key: key}})
+	v, err := d.dev.Get(ns, key)
+	t.OpCompleted(id, ns, v, err)
+	return v, err
 }
 
 // Put atomically inserts or updates a single key-value pair.
 func (d *Device) Put(ns Namespace, key uint64, value []byte) error {
-	return d.dev.Put([]kamlssd.PutRecord{{Namespace: ns, Key: key, Value: value}})
+	recs := []kamlssd.PutRecord{{Namespace: ns, Key: key, Value: value}}
+	t := d.tap
+	if t == nil {
+		return d.dev.Put(recs)
+	}
+	id := t.OpInvoked(OpPut, 0, recs)
+	err := d.dev.Put(recs)
+	t.OpCompleted(id, ns, nil, err)
+	return err
 }
 
 // Record is one element of an atomic batch Put.
@@ -323,19 +437,42 @@ func validateBatch(records []Record) error {
 // across namespaces — the paper's multi-part atomic write. Batches must be
 // non-empty (ErrEmptyBatch) and free of repeated keys (ErrDuplicateKey).
 func (d *Device) PutBatch(records []Record) error {
-	if err := validateBatch(records); err != nil {
-		return err
+	t := d.tap
+	if t == nil {
+		if err := validateBatch(records); err != nil {
+			return err
+		}
+		return d.dev.Put(records)
 	}
-	return d.dev.Put(records)
+	id := t.OpInvoked(OpPutBatch, 0, records)
+	err := validateBatch(records)
+	if err == nil {
+		err = d.dev.Put(records)
+	}
+	t.OpCompleted(id, 0, nil, err)
+	return err
 }
 
 // GetFuture is an in-flight AsyncGet. Wait parks the calling actor until
 // the device completes the command.
-type GetFuture struct{ f *cmdq.Future }
+type GetFuture struct {
+	f    *cmdq.Future
+	tap  HistoryTap
+	id   uint64
+	ns   Namespace
+	once sync.Once
+}
 
 // Wait blocks (on the virtual clock) until the Get completes.
 func (f *GetFuture) Wait() ([]byte, error) {
 	res := f.f.Wait()
+	if f.tap != nil {
+		// A history tap records the completion when the caller first
+		// observes it; a future never waited on stays pending in the
+		// history, which the checker treats as "may or may not have
+		// happened" — exactly its semantics.
+		f.once.Do(func() { f.tap.OpCompleted(f.id, f.ns, res.Value, res.Err) })
+	}
 	return res.Value, res.Err
 }
 
@@ -343,10 +480,21 @@ func (f *GetFuture) Wait() ([]byte, error) {
 func (f *GetFuture) Ready() bool { return f.f.Ready() }
 
 // PutFuture is an in-flight AsyncPut or AsyncPutBatch.
-type PutFuture struct{ f *cmdq.Future }
+type PutFuture struct {
+	f    *cmdq.Future
+	tap  HistoryTap
+	id   uint64
+	once sync.Once
+}
 
 // Wait blocks (on the virtual clock) until the write is acknowledged.
-func (f *PutFuture) Wait() error { return f.f.Wait().Err }
+func (f *PutFuture) Wait() error {
+	err := f.f.Wait().Err
+	if f.tap != nil {
+		f.once.Do(func() { f.tap.OpCompleted(f.id, 0, nil, err) })
+	}
+	return err
+}
 
 // Ready reports, without blocking, whether the completion has arrived.
 func (f *PutFuture) Ready() bool { return f.f.Ready() }
@@ -355,7 +503,12 @@ func (f *PutFuture) Ready() bool { return f.f.Ready() }
 // many before the first Wait keeps the device's command pipeline full —
 // the same queue-depth game a real NVMe host plays. Call from an actor.
 func (d *Device) AsyncGet(ns Namespace, key uint64) *GetFuture {
-	return &GetFuture{f: d.dev.SubmitGet(ns, key)}
+	fut := &GetFuture{tap: d.tap, ns: ns}
+	if fut.tap != nil {
+		fut.id = fut.tap.OpInvoked(OpGet, 0, []Record{{Namespace: ns, Key: key}})
+	}
+	fut.f = d.dev.SubmitGet(ns, key)
+	return fut
 }
 
 // AsyncPut submits a single-record Put and returns immediately with a
@@ -363,17 +516,29 @@ func (d *Device) AsyncGet(ns Namespace, key uint64) *GetFuture {
 // commit: the coalescer may merge them into one multi-record NVRAM commit,
 // amortizing the per-command firmware and completion costs.
 func (d *Device) AsyncPut(ns Namespace, key uint64, value []byte) *PutFuture {
-	return &PutFuture{f: d.dev.SubmitPut([]kamlssd.PutRecord{{Namespace: ns, Key: key, Value: value}})}
+	recs := []kamlssd.PutRecord{{Namespace: ns, Key: key, Value: value}}
+	fut := &PutFuture{tap: d.tap}
+	if fut.tap != nil {
+		fut.id = fut.tap.OpInvoked(OpPut, 0, recs)
+	}
+	fut.f = d.dev.SubmitPut(recs)
+	return fut
 }
 
 // AsyncPutBatch submits an atomic multi-record write and returns a future.
 // Validation failures (ErrEmptyBatch, ErrDuplicateKey) surface through the
 // future's Wait, never through a neighboring command.
 func (d *Device) AsyncPutBatch(records []Record) *PutFuture {
-	if err := validateBatch(records); err != nil {
-		return &PutFuture{f: cmdq.Resolved(d.eng, cmdq.Result{Err: err})}
+	fut := &PutFuture{tap: d.tap}
+	if fut.tap != nil {
+		fut.id = fut.tap.OpInvoked(OpPutBatch, 0, records)
 	}
-	return &PutFuture{f: d.dev.SubmitPut(records)}
+	if err := validateBatch(records); err != nil {
+		fut.f = cmdq.Resolved(d.eng, cmdq.Result{Err: err})
+		return fut
+	}
+	fut.f = d.dev.SubmitPut(records)
+	return fut
 }
 
 // Flush waits until every acknowledged Put has reached flash. KAML's
@@ -383,7 +548,14 @@ func (d *Device) Flush() { d.dev.Flush() }
 
 // TuneNamespaceLogs changes how many logs serve the namespace (Fig. 8).
 func (d *Device) TuneNamespaceLogs(ns Namespace, logs int) error {
-	return d.dev.SetNamespaceLogs(ns, logs)
+	t := d.tap
+	if t == nil {
+		return d.dev.SetNamespaceLogs(ns, logs)
+	}
+	id := t.OpInvoked(OpTuneLogs, 0, []Record{{Namespace: ns, Key: uint64(logs)}})
+	err := d.dev.SetNamespaceLogs(ns, logs)
+	t.OpCompleted(id, ns, nil, err)
+	return err
 }
 
 // Snapshot creates a read-only, point-in-time snapshot of the namespace —
@@ -391,7 +563,14 @@ func (d *Device) TuneNamespaceLogs(ns Namespace, logs int) error {
 // by the garbage collector while any snapshot references them (§I's
 // "additional services like snapshots").
 func (d *Device) Snapshot(ns Namespace) (Namespace, error) {
-	return d.dev.SnapshotNamespace(ns)
+	t := d.tap
+	if t == nil {
+		return d.dev.SnapshotNamespace(ns)
+	}
+	id := t.OpInvoked(OpSnapshot, 0, []Record{{Namespace: ns}})
+	snap, err := d.dev.SnapshotNamespace(ns)
+	t.OpCompleted(id, snap, nil, err)
+	return snap, err
 }
 
 // CacheOptions configure the host caching layer (paper §III-D).
@@ -431,34 +610,76 @@ func (c *Cache) HitRatio() float64 { return c.c.HitRatio() }
 
 // Txn is a transaction on the caching layer (paper Table II / Fig. 2).
 type Txn struct {
-	tx storage.Tx
+	tx  storage.Tx
+	tap HistoryTap
+	id  uint64
 }
 
 // Begin starts a transaction (TransactionBegin).
-func (c *Cache) Begin() *Txn { return &Txn{tx: c.c.Begin()} }
+func (c *Cache) Begin() *Txn {
+	t := &Txn{tx: c.c.Begin(), tap: c.d.tap}
+	if t.tap != nil {
+		t.id = t.tap.TxnBegan()
+	}
+	return t
+}
 
 // Read returns the value under (ns, key) with a shared lock
 // (TransactionRead).
 func (t *Txn) Read(ns Namespace, key uint64) ([]byte, error) {
-	return t.tx.Read(ns, key)
+	if t.tap == nil {
+		return t.tx.Read(ns, key)
+	}
+	id := t.tap.OpInvoked(OpTxnRead, t.id, []Record{{Namespace: ns, Key: key}})
+	v, err := t.tx.Read(ns, key)
+	t.tap.OpCompleted(id, ns, v, err)
+	return v, err
 }
 
 // Update stages a new value under an exclusive lock (TransactionUpdate).
 func (t *Txn) Update(ns Namespace, key uint64, value []byte) error {
-	return t.tx.Update(ns, key, value)
+	if t.tap == nil {
+		return t.tx.Update(ns, key, value)
+	}
+	id := t.tap.OpInvoked(OpTxnUpdate, t.id, []Record{{Namespace: ns, Key: key, Value: value}})
+	err := t.tx.Update(ns, key, value)
+	t.tap.OpCompleted(id, ns, nil, err)
+	return err
 }
 
 // Insert stages a new record under an exclusive lock (TransactionInsert).
 func (t *Txn) Insert(ns Namespace, key uint64, value []byte) error {
-	return t.tx.Insert(ns, key, value)
+	if t.tap == nil {
+		return t.tx.Insert(ns, key, value)
+	}
+	id := t.tap.OpInvoked(OpTxnInsert, t.id, []Record{{Namespace: ns, Key: key, Value: value}})
+	err := t.tx.Insert(ns, key, value)
+	t.tap.OpCompleted(id, ns, nil, err)
+	return err
 }
 
 // Commit atomically persists the write set and releases locks
 // (TransactionCommit).
-func (t *Txn) Commit() error { return t.tx.Commit() }
+func (t *Txn) Commit() error {
+	if t.tap == nil {
+		return t.tx.Commit()
+	}
+	id := t.tap.OpInvoked(OpTxnCommit, t.id, nil)
+	err := t.tx.Commit()
+	t.tap.OpCompleted(id, 0, nil, err)
+	return err
+}
 
 // Abort discards staged writes and releases locks (TransactionAbort).
-func (t *Txn) Abort() { t.tx.Abort() }
+func (t *Txn) Abort() {
+	if t.tap == nil {
+		t.tx.Abort()
+		return
+	}
+	id := t.tap.OpInvoked(OpTxnAbort, t.id, nil)
+	t.tx.Abort()
+	t.tap.OpCompleted(id, 0, nil, nil)
+}
 
 // Free releases the transaction's resources (TransactionFree).
 func (t *Txn) Free() { t.tx.Free() }
