@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/kaml-ssd/kaml/internal/experiments"
+	"github.com/kaml-ssd/kaml/internal/telemetry"
 )
 
 type experiment struct {
@@ -64,6 +65,10 @@ type jsonExperiment struct {
 	WallMS      float64              `json:"wall_ms"`
 	AllocsPerOp float64              `json:"allocs_per_op"`
 	Tables      []*experiments.Table `json:"tables"`
+
+	// Telemetry merges the registries of every device the experiment
+	// created (one per figure cell). Present only with -json.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // jsonReport is the top-level -json document.
@@ -127,6 +132,13 @@ func main() {
 		}
 	}
 
+	// With -json, merge every device registry an experiment creates into
+	// its report entry so the artifact embeds the pipeline/GC telemetry.
+	if *jsonPath != "" {
+		telemetry.CollectGlobal(true)
+		defer telemetry.CollectGlobal(false)
+	}
+
 	report := jsonReport{
 		Scale:    *scale,
 		Parallel: experiments.Parallelism(),
@@ -137,6 +149,7 @@ func main() {
 			continue
 		}
 		fmt.Printf("--- running %s (%s) ---\n", e.id, e.desc)
+		telemetry.ResetGlobal()
 		var m0 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		ops0 := experiments.OpsCompleted()
@@ -154,13 +167,17 @@ func main() {
 		}
 		fmt.Printf("(%s took %.1fs wall-clock, %.0f allocs/op)\n\n",
 			e.id, elapsed.Seconds(), allocsPerOp)
-		report.Experiments = append(report.Experiments, jsonExperiment{
+		je := jsonExperiment{
 			ID: e.id, Description: e.desc,
 			WallSeconds: elapsed.Seconds(),
 			WallMS:      float64(elapsed.Microseconds()) / 1000,
 			AllocsPerOp: allocsPerOp,
 			Tables:      tables,
-		})
+		}
+		if *jsonPath != "" {
+			je.Telemetry = telemetry.GlobalSnapshot()
+		}
+		report.Experiments = append(report.Experiments, je)
 	}
 
 	if *jsonPath != "" {

@@ -16,19 +16,25 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	kaml "github.com/kaml-ssd/kaml"
+	"github.com/kaml-ssd/kaml/internal/admin"
 	"github.com/kaml-ssd/kaml/internal/kvproto"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7040", "listen address")
+	adminAddr := flag.String("admin", "", "optional admin listen address serving /metrics, /statusz and /debug/pprof (e.g. :9090)")
 	small := flag.Bool("small", false, "use the scaled-down device geometry")
 	flag.Parse()
 
@@ -47,11 +53,36 @@ func main() {
 	}
 	srv := kvproto.NewServer(dev)
 
+	// Optional admin endpoint. It reads only atomic telemetry snapshots,
+	// so scraping is safe while the simulation runs.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		adminSrv = &http.Server{Handler: admin.Handler(dev)}
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin serve: %v", err)
+			}
+		}()
+		log.Printf("admin endpoint on http://%s (/metrics, /statusz, /debug/pprof)", aln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
 		log.Printf("received %v, shutting down", s)
+		if adminSrv != nil {
+			// Let an in-progress scrape finish, then stop answering.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := adminSrv.Shutdown(ctx); err != nil {
+				log.Printf("admin shutdown: %v", err)
+			}
+			cancel()
+		}
 		srv.Close()
 	}()
 
@@ -67,4 +98,9 @@ func main() {
 		st.Gets, st.Puts, st.PutRecords, st.Programs, st.GCErases, st.NVRAMHits, st.ProgramRetries, st.BlocksRetired)
 	log.Printf("pipeline stats: submitted=%d completed=%d coalesced_puts=%d coalescer_batches=%d coalescer_records=%d max_queue=%d mean_queue=%.2f",
 		st.PipelineSubmitted, st.PipelineCompleted, st.CoalescedPuts, st.CoalescerBatches, st.CoalescerRecords, st.PipelineMaxQueue, st.PipelineMeanQueue)
+	if reg := dev.Telemetry(); reg != nil {
+		if b, err := json.Marshal(reg.Snapshot()); err == nil {
+			log.Printf("final telemetry snapshot: %s", b)
+		}
+	}
 }

@@ -1,0 +1,66 @@
+// Package admin serves a device's operational surface over HTTP: a
+// Prometheus text-exposition /metrics endpoint, a JSON /statusz snapshot
+// (device counters plus the full telemetry registry), and the standard
+// net/http/pprof profiling routes. It is wired into cmd/kamlsrv behind
+// the optional -admin flag; the handler only reads atomic snapshots, so
+// scraping never blocks a simulation actor.
+package admin
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+// Handler returns the admin mux for one device. Routes:
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/statusz       JSON: device Stats plus a telemetry registry snapshot
+//	/debug/pprof/  standard Go profiling endpoints
+//
+// A device opened with telemetry disabled still serves /statusz (stats
+// only) and pprof; /metrics answers 404 with an explanatory body.
+func Handler(dev *kaml.Device) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		reg := dev.Telemetry()
+		if reg == nil {
+			http.Error(w, "telemetry disabled on this device", http.StatusNotFound)
+			return
+		}
+		var b strings.Builder
+		reg.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		status := struct {
+			Stats     kaml.Stats  `json:"stats"`
+			Telemetry interface{} `json:"telemetry,omitempty"`
+		}{Stats: dev.Stats()}
+		if reg := dev.Telemetry(); reg != nil {
+			status.Telemetry = reg.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(status)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("kamlsrv admin\n\n/metrics\n/statusz\n/debug/pprof/\n"))
+	})
+	return mux
+}

@@ -184,6 +184,11 @@ type Config struct {
 	// ClosedErr is returned by commands rejected after Close (default
 	// ErrClosed). Fail overrides it with the poison error.
 	ClosedErr error
+	// Metrics, when non-nil, enables telemetry: per-stage lifecycle
+	// histograms, occupancy gauge, backpressure and coalescer counters
+	// (see NewMetrics). Nil disables all instrumentation, including the
+	// per-command timestamp reads.
+	Metrics *Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -225,10 +230,12 @@ type Stats struct {
 	MeanOccupancy float64
 }
 
-// task pairs a queued command with its future.
+// task pairs a queued command with its future. at is the submission
+// timestamp (virtual clock) when tracing is enabled, zero otherwise.
 type task struct {
 	cmd *Command
 	fut *Future
+	at  time.Duration
 }
 
 // Pipeline is an asynchronous command pipeline over a single exec function.
@@ -236,6 +243,7 @@ type Pipeline struct {
 	eng  *sim.Engine
 	cfg  Config
 	exec func(*Command) Result
+	m    *Metrics // nil when telemetry is disabled
 
 	mu      *sim.Mutex
 	notFull *sim.Cond // occupancy < Depth
@@ -272,6 +280,7 @@ func New(eng *sim.Engine, cfg Config, exec func(*Command) Result) *Pipeline {
 		eng:   eng,
 		cfg:   cfg,
 		exec:  exec,
+		m:     cfg.Metrics,
 		mu:    eng.NewMutex("cmdq"),
 		coMap: make(map[int]*coalescer),
 		wg:    eng.NewWaitGroup(),
@@ -291,8 +300,13 @@ func New(eng *sim.Engine, cfg Config, exec func(*Command) Result) *Pipeline {
 // error.
 func (p *Pipeline) Submit(cmd *Command) *Future {
 	p.mu.Lock()
+	waited := false
 	for p.occ >= p.cfg.Depth && !p.closing {
+		waited = true
 		p.notFull.Wait()
+	}
+	if waited {
+		p.m.noteBackpressure()
 	}
 	if p.closing {
 		err := p.shutdownErrLocked()
@@ -307,10 +321,15 @@ func (p *Pipeline) Submit(cmd *Command) *Future {
 	}
 	p.occSum.Add(int64(p.occ))
 	p.occSamples.Add(1)
+	p.m.setDepth(p.occ)
+	t := task{cmd: cmd, fut: fut}
+	if p.m != nil {
+		t.at = p.eng.NowCheap()
+	}
 	if (cmd.Op == OpPut || cmd.Op == OpPutBatch) && p.cfg.CoalesceWindow > 0 {
-		p.coalescerLocked(p.shardOf(cmd)).addLocked(task{cmd, fut})
+		p.coalescerLocked(p.shardOf(cmd)).addLocked(t)
 	} else {
-		p.queue = append(p.queue, task{cmd, fut})
+		p.queue = append(p.queue, t)
 		p.work.Signal()
 	}
 	p.mu.Unlock()
@@ -351,12 +370,19 @@ func (p *Pipeline) shutdownErrLocked() error {
 // finish resolves a completed command's future and releases its occupancy.
 // Called with p.mu NOT held.
 func (p *Pipeline) finishAll(tasks []task, results []Result) {
+	if p.m != nil {
+		now := p.eng.NowCheap()
+		for _, t := range tasks {
+			p.m.observeStage(t.cmd.Op, stageTotal, now-t.at)
+		}
+	}
 	for i, t := range tasks {
 		t.fut.complete(results[i])
 	}
 	p.mu.Lock()
 	p.occ -= len(tasks)
 	p.completed.Add(int64(len(tasks)))
+	p.m.setDepth(p.occ)
 	p.notFull.Broadcast()
 	p.mu.Unlock()
 }
@@ -380,6 +406,11 @@ func (p *Pipeline) workerLoop() {
 		var res Result
 		if poison != nil {
 			res = Result{Err: poison}
+		} else if p.m != nil {
+			start := p.eng.NowCheap()
+			p.m.observeStage(t.cmd.Op, stageQueue, start-t.at)
+			res = p.exec(t.cmd)
+			p.m.observeStage(t.cmd.Op, stageExec, p.eng.NowCheap()-start)
 		} else {
 			res = p.exec(t.cmd)
 		}
@@ -488,7 +519,22 @@ func (c *coalescer) loop() {
 				results[i] = Result{Err: poison}
 			}
 		default:
+			var start time.Duration
+			if p.m != nil {
+				start = p.eng.NowCheap()
+				for _, t := range tasks {
+					p.m.observeStage(t.cmd.Op, stageCoalesce, start-t.at)
+				}
+			}
 			res := p.exec(&Command{Op: OpPutBatch, Records: batch, Merged: len(tasks)})
+			if p.m != nil {
+				// The group commit's exec is the NVRAM batch commit; charge
+				// its latency to every merged command.
+				d := p.eng.NowCheap() - start
+				for _, t := range tasks {
+					p.m.observeStage(t.cmd.Op, stageExec, d)
+				}
+			}
 			if res.Err != nil && len(tasks) > 1 {
 				// A merged commit is all-or-nothing in the firmware, so its
 				// error would name every coalesced neighbor even when only
@@ -509,6 +555,7 @@ func (c *coalescer) loop() {
 			if len(tasks) > 1 {
 				p.coalescedPuts.Add(int64(len(tasks)))
 			}
+			p.m.noteCommit(len(batch), len(tasks))
 			for i := range results {
 				results[i] = res
 			}

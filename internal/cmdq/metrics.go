@@ -1,0 +1,118 @@
+package cmdq
+
+import (
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/telemetry"
+)
+
+// Lifecycle stages traced per command. A command is timestamped at Submit
+// and at each transition; the deltas land in per-(op, stage) histograms:
+//
+//	queue    — submit → worker pickup (direct commands: Get, Snapshot, admin)
+//	coalesce — submit → group-commit cut (coalesced writes: the window wait)
+//	exec     — the exec function's runtime; for writes this is the NVRAM
+//	           batch commit (flash install is asynchronous and measured by
+//	           the firmware's flusher, see kamlssd metrics)
+//	total    — submit → future resolved
+const (
+	stageQueue = iota
+	stageCoalesce
+	stageExec
+	stageTotal
+	numStages
+)
+
+var stageNames = [numStages]string{"queue", "coalesce", "exec", "total"}
+
+// numOps sizes the per-op instrument tables (Op values start at 1).
+const numOps = int(OpDeleteNS) + 1
+
+// Metrics holds the pipeline's pre-resolved telemetry instruments. Resolve
+// once with NewMetrics at device startup and pass via Config.Metrics; every
+// hot-path record is then an atomic add with no registry lookup. A nil
+// *Metrics disables all instrumentation (including the eng.Now timestamp
+// reads), which is the baseline for the telemetry overhead budget.
+type Metrics struct {
+	depth         *telemetry.Gauge   // current occupancy (bounded by Depth)
+	backpressure  *telemetry.Counter // Submits that parked on a full pipeline
+	batchRecords  *telemetry.Histogram
+	batchCommits  *telemetry.Counter
+	coalescedPuts *telemetry.Counter
+
+	stage [numOps][numStages]*telemetry.Histogram
+	reg   *telemetry.Registry // for lazily registering rare (admin) op series
+}
+
+// NewMetrics registers the pipeline's instruments in r. Returns nil when r
+// is nil so a disabled registry disables cmdq tracing wholesale.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	r.Help("kaml_cmdq_occupancy", "Commands submitted but not yet completed.")
+	r.Help("kaml_cmdq_backpressure_waits_total", "Submit calls that parked because the pipeline was at Depth.")
+	r.Help("kaml_cmdq_batch_records", "Records per coalescer group commit.")
+	r.Help("kaml_cmdq_batch_commits_total", "Group commits issued by the coalescer.")
+	r.Help("kaml_cmdq_coalesced_puts_total", "Write commands that shared a batch commit with at least one other.")
+	r.Help("kaml_cmdq_stage_seconds", "Per-stage command latency (virtual time) by op and lifecycle stage.")
+	m := &Metrics{
+		depth:         r.Gauge("kaml_cmdq_occupancy"),
+		backpressure:  r.Counter("kaml_cmdq_backpressure_waits_total"),
+		batchRecords:  r.Histogram("kaml_cmdq_batch_records", telemetry.UnitNone),
+		batchCommits:  r.Counter("kaml_cmdq_batch_commits_total"),
+		coalescedPuts: r.Counter("kaml_cmdq_coalesced_puts_total"),
+	}
+	// Eagerly register the stage series that matter for scraping (Get and
+	// Put cover the hot path; the rest register on first use).
+	for _, op := range []Op{OpGet, OpPut, OpPutBatch, OpSnapshot} {
+		for st := 0; st < numStages; st++ {
+			m.stageHist(op, st, r)
+		}
+	}
+	m.reg = r
+	return m
+}
+
+func (m *Metrics) stageHist(op Op, st int, r *telemetry.Registry) *telemetry.Histogram {
+	h := r.Histogram("kaml_cmdq_stage_seconds", telemetry.UnitSeconds,
+		"op", op.String(), "stage", stageNames[st])
+	m.stage[op][st] = h
+	return h
+}
+
+func (m *Metrics) observeStage(op Op, st int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	h := m.stage[op][st]
+	if h == nil {
+		h = m.stageHist(op, st, m.reg)
+	}
+	h.ObserveDuration(d)
+}
+
+func (m *Metrics) setDepth(occ int) {
+	if m == nil {
+		return
+	}
+	m.depth.Set(int64(occ))
+}
+
+func (m *Metrics) noteBackpressure() {
+	if m == nil {
+		return
+	}
+	m.backpressure.Inc()
+}
+
+func (m *Metrics) noteCommit(records, mergedCmds int) {
+	if m == nil {
+		return
+	}
+	m.batchCommits.Inc()
+	m.batchRecords.Observe(int64(records))
+	if mergedCmds > 1 {
+		m.coalescedPuts.Add(int64(mergedCmds))
+	}
+}

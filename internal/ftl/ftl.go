@@ -24,6 +24,7 @@ import (
 	"github.com/kaml-ssd/kaml/internal/flash"
 	"github.com/kaml-ssd/kaml/internal/nvme"
 	"github.com/kaml-ssd/kaml/internal/sim"
+	"github.com/kaml-ssd/kaml/internal/telemetry"
 )
 
 // SectorSize is the logical block size exposed to the host.
@@ -48,6 +49,7 @@ type Config struct {
 	GCHighWater        int           // GC collects until this many free blocks
 	RangeLockCost      time.Duration // firmware CPU per range-lock acquire
 	RangeLockShift     uint          // lba >> shift selects the lock stripe
+	DisableTelemetry   bool          // skip the metrics registry entirely
 }
 
 // DefaultConfig sizes the device so that the exposed LBA space is ~80% of
@@ -108,6 +110,15 @@ type Device struct {
 	stopped   *sim.WaitGroup // background actors
 
 	stats Stats
+
+	// Telemetry (nil when Config.DisableTelemetry). The baseline exposes
+	// its GC economics so the paper's KAML-vs-block-SSD comparisons can be
+	// watched live next to the kamlssd series.
+	tel        *telemetry.Registry
+	gcCopied   *telemetry.Counter   // valid sectors relocated by GC
+	gcErased   *telemetry.Counter   // GC block erases
+	gcPause    *telemetry.Histogram // one victim collection (virtual time)
+	freeBlocks *telemetry.Gauge     // allocator free-block count
 }
 
 // pageJob is one packed page on its way to a chip.
@@ -167,6 +178,17 @@ func New(arr *flash.Array, ctrl *nvme.Controller, cfg Config) *Device {
 	for i := range d.rangeLocks {
 		d.rangeLocks[i] = d.eng.NewMutex(fmt.Sprintf("ftl-range%d", i))
 	}
+	if !cfg.DisableTelemetry {
+		d.tel = telemetry.NewRegistry()
+		d.tel.Help("ftl_gc_copied_sectors_total", "Valid sectors relocated out of GC victim blocks.")
+		d.tel.Help("ftl_gc_erases_total", "GC block erases.")
+		d.tel.Help("ftl_gc_pause_seconds", "Duration of one GC victim collection (virtual time).")
+		d.tel.Help("ftl_free_blocks", "Allocator free-block count.")
+		d.gcCopied = d.tel.Counter("ftl_gc_copied_sectors_total")
+		d.gcErased = d.tel.Counter("ftl_gc_erases_total")
+		d.gcPause = d.tel.Histogram("ftl_gc_pause_seconds", telemetry.UnitSeconds)
+		d.freeBlocks = d.tel.Gauge("ftl_free_blocks")
+	}
 	d.pendingByBlock = make(map[int]int)
 	d.chipQueues = make([]*chipQueue, fc.Chips())
 	d.stopped = d.eng.NewWaitGroup()
@@ -210,6 +232,10 @@ func (d *Device) Stats() Stats {
 	defer d.mu.Unlock()
 	return d.stats
 }
+
+// Telemetry returns the device's metrics registry, or nil when
+// Config.DisableTelemetry.
+func (d *Device) Telemetry() *telemetry.Registry { return d.tel }
 
 // Capacity returns the number of exposed 4 KB sectors.
 func (d *Device) Capacity() int { return d.cfg.NumLBAs }

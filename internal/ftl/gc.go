@@ -17,8 +17,10 @@ func (d *Device) gcLoop() {
 		// be starved for free blocks (its alloc-retry loop sleeps on GCPoll
 		// waiting for us), and exiting early would strand it forever.
 		done := d.closed && d.flushDone
-		needGC := d.alloc.freeBlockCount() < d.cfg.GCLowWater
+		free := d.alloc.freeBlockCount()
+		needGC := free < d.cfg.GCLowWater
 		d.mu.Unlock()
+		d.freeBlocks.Set(int64(free))
 		if done {
 			return
 		}
@@ -37,7 +39,13 @@ func (d *Device) gcLoop() {
 			if !ok {
 				break // nothing sealed yet; wait for writes to seal blocks
 			}
-			d.collectBlock(chipIdx, block)
+			if d.tel != nil {
+				start := d.eng.NowCheap()
+				d.collectBlock(chipIdx, block)
+				d.gcPause.ObserveDuration(d.eng.NowCheap() - start)
+			} else {
+				d.collectBlock(chipIdx, block)
+			}
 		}
 		d.eng.Sleep(d.cfg.GCPoll)
 	}
@@ -121,6 +129,7 @@ func (d *Device) collectBlock(chipIdx, block int) {
 	// Pass 3: erase and reclaim (or retire on failure).
 	erasePPN := d.arr.BlockPPN(ca.channel, ca.chip, block, 0)
 	err := d.arr.EraseBlock(erasePPN)
+	d.gcErased.Inc()
 	d.mu.Lock()
 	d.stats.GCErases++
 	if err != nil {
@@ -164,6 +173,7 @@ func (d *Device) relocateGroup(group []liveSector) {
 	if perr := d.arr.ProgramPage(ppn, page, oob); perr != nil {
 		panic(fmt.Sprintf("ftl: GC program %d: %v", ppn, perr))
 	}
+	d.gcCopied.Add(int64(len(lbas)))
 	d.mu.Lock()
 	d.stats.GCCopies += int64(len(lbas))
 	d.stats.Programs++

@@ -56,6 +56,7 @@ import (
 	"github.com/kaml-ssd/kaml/internal/nvme"
 	"github.com/kaml-ssd/kaml/internal/record"
 	"github.com/kaml-ssd/kaml/internal/sim"
+	"github.com/kaml-ssd/kaml/internal/telemetry"
 )
 
 // Errors returned by device operations.
@@ -97,6 +98,13 @@ type Config struct {
 	// shards (0 = cmdq default). The model checker sweeps it as a
 	// concurrency-shape knob.
 	CoalesceShards int
+
+	// DisableTelemetry turns off the device's telemetry registry (counters,
+	// gauges, per-stage latency histograms). The default — telemetry on —
+	// is cheap enough to leave enabled (atomic adds on the hot path, no
+	// allocations); disabling exists for the overhead benchmark and for
+	// harnesses that build thousands of short-lived devices.
+	DisableTelemetry bool
 }
 
 // DefaultConfig matches DESIGN.md §5: one log per channel by default.
@@ -157,6 +165,13 @@ type Device struct {
 	// are executed by its worker actors, small concurrent Puts are merged
 	// by its coalescer (see pipeline.go for the submission glue).
 	pipe *cmdq.Pipeline
+
+	// tel is the device's telemetry registry; met holds the firmware's
+	// pre-resolved instruments (nil when Config.DisableTelemetry). Both
+	// are pure atomics — safe to scrape from plain goroutines outside the
+	// simulation without stalling the virtual clock.
+	tel *telemetry.Registry
+	met *devMetrics
 
 	closed       atomic.Bool
 	crashed      atomic.Bool  // power-cut: actors exit without draining
@@ -290,6 +305,10 @@ func (d *Device) newNamespace(id uint32) *namespace {
 // startActors launches the command pipeline, one flusher per log, and the
 // GC actor.
 func (d *Device) startActors() {
+	if !d.cfg.DisableTelemetry {
+		d.tel = telemetry.NewRegistry()
+		d.met = newDevMetrics(d.tel, len(d.logs))
+	}
 	d.pipe = cmdq.New(d.eng, cmdq.Config{
 		Depth:           d.cfg.PipelineDepth,
 		Workers:         d.cfg.PipelineWorkers,
@@ -297,6 +316,7 @@ func (d *Device) startActors() {
 		MaxBatchRecords: d.cfg.MaxCoalesceRecords,
 		CoalesceShards:  d.cfg.CoalesceShards,
 		ClosedErr:       ErrClosed,
+		Metrics:         cmdq.NewMetrics(d.tel),
 	}, d.execCommand)
 	d.stopped = d.eng.NewWaitGroup()
 	d.flushersLive.Store(int64(len(d.logs)))
@@ -331,6 +351,12 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 // Config returns the firmware configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// Telemetry returns the device's metrics registry, or nil when
+// Config.DisableTelemetry. The registry is lock-free to read (atomic
+// snapshots), so admin/scrape goroutines outside the simulation may use it
+// freely.
+func (d *Device) Telemetry() *telemetry.Registry { return d.tel }
+
 // NVRAM returns the device's battery-backed region. The caller keeps the
 // pointer across a power cut and hands it to Recover — that is the crash
 // model: NVRAM survives, everything else is rebuilt.
@@ -349,6 +375,14 @@ func (d *Device) lookupNS(id uint32) (*namespace, error) {
 
 // addStat atomically bumps one device counter.
 func addStat(p *int64, n int64) { atomic.AddInt64(p, n) }
+
+// noteNVRAMLocked refreshes the NVRAM-occupancy gauge. Called with d.nvMu
+// held (the staged-value map is guarded by it).
+func (d *Device) noteNVRAMLocked() {
+	if d.met != nil {
+		d.met.setNVRAMStaged(len(d.nv.values))
+	}
+}
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
@@ -516,6 +550,7 @@ func (d *Device) DeleteNamespace(id uint32) error {
 		// per-block valid-byte accounting so GC victim scoring stays honest.
 		ns.mu.Lock()
 		if !ns.swapped {
+			d.met.addIndexEntries(-ns.index.Len())
 			ns.index.Range(func(key, val uint64) bool {
 				if loc := location(val); loc.isFlash() {
 					d.discountValid(loc)

@@ -52,7 +52,13 @@ func (d *Device) gcLoop() {
 			if done || !ok {
 				break
 			}
-			d.collectBlock(work, chipIdx, block)
+			if d.met != nil {
+				start := d.eng.NowCheap()
+				d.collectBlock(work, chipIdx, block)
+				d.met.observeGCPause(d.eng.NowCheap() - start)
+			} else {
+				d.collectBlock(work, chipIdx, block)
+			}
 		}
 		d.eng.Sleep(d.cfg.GCPoll)
 	}
@@ -63,10 +69,23 @@ func (d *Device) gcLoop() {
 // data", §IV-E). Called with lg.mu held.
 func (d *Device) victim(lg *logState) (chipIdx, block int, ok bool) {
 	best := int64(1) << 62
+	wearMin, wearMax := int64(1)<<62, int64(-1)
 	for ci, lc := range lg.chips {
 		ch, chip := lg.chipAddr(ci)
 		for b := range lc.blocks {
 			bm := &lc.blocks[b]
+			if d.met != nil && !bm.retired {
+				// Refresh the log's wear-spread gauges while we are already
+				// walking every block (the same erase counters drive victim
+				// scoring below).
+				e := int64(d.arr.EraseCount(d.arr.BlockPPN(ch, chip, b, 0)))
+				if e < wearMin {
+					wearMin = e
+				}
+				if e > wearMax {
+					wearMax = e
+				}
+			}
 			if !bm.sealed || bm.retired {
 				continue
 			}
@@ -95,6 +114,9 @@ func (d *Device) victim(lg *logState) (chipIdx, block int, ok bool) {
 				chipIdx, block, ok = ci, b, true
 			}
 		}
+	}
+	if wearMax >= 0 {
+		d.met.setWearSpread(lg.id, wearMin, wearMax)
 	}
 	return chipIdx, block, ok
 }
@@ -157,6 +179,7 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 			if d.recordLive(pl.Record, loc) {
 				live = append(live, gcRecord{rec: pl.Record, oldLoc: loc})
 				addStat(&d.stats.GCCopies, 1)
+				d.met.addGCCopiedBytes(lg.id, int64(pl.NumChunks*d.cfg.ChunkSize))
 			}
 		}
 	}
@@ -196,9 +219,11 @@ func (d *Device) collectBlock(lg *logState, chipIdx, block int) {
 		d.nvMu.Unlock()
 		addStat(&d.stats.BlocksRetired, 1)
 		addStat(&d.stats.GCErases, 1)
+		d.met.incGCErases(lg.id)
 		return
 	}
 	addStat(&d.stats.GCErases, 1)
+	d.met.incGCErases(lg.id)
 	lg.mu.Lock()
 	bm := &lg.chips[chipIdx].blocks[block]
 	bm.sealed = false

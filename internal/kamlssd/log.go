@@ -67,6 +67,10 @@ type pendingRec struct {
 	seq   uint64 // NVRAM sequence the index points at
 	chunk int    // start chunk within the sealed page
 	size  int    // encoded bytes
+	// staged is the record's NVRAM staging time; feeds the flash-install
+	// latency histogram. Zero when telemetry is off (and for recovery
+	// replays, which must not pollute the distribution).
+	staged time.Duration
 }
 
 type sealedPage struct {
@@ -350,7 +354,11 @@ func (d *Device) installFlashLoc(pr pendingRec, ppn flash.PPN) {
 	// this flash record belongs to an unfinished batch.
 	d.nvMu.Lock()
 	d.nv.installed(pr.seq)
+	d.noteNVRAMLocked()
 	d.nvMu.Unlock()
+	if d.met != nil && pr.staged > 0 {
+		d.met.observeFlashInstall(d.eng.NowCheap() - pr.staged)
+	}
 }
 
 // creditValid adds a record's footprint to its block's valid counter,

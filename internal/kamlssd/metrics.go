@@ -1,0 +1,118 @@
+package kamlssd
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/telemetry"
+)
+
+// devMetrics holds the firmware's pre-resolved telemetry instruments.
+// Everything is registered eagerly at device startup — including one
+// series per log — so a scrape taken before any traffic still shows the
+// full metric surface (the CI smoke test depends on that). A nil
+// *devMetrics disables firmware instrumentation entirely; every method
+// below is nil-receiver safe, and the timestamp reads feeding the
+// histograms are skipped when disabled (see execPut / installFlashLoc).
+//
+// Command latencies (Get/Put/Snapshot, per lifecycle stage) are recorded
+// by the pipeline itself — kaml_cmdq_stage_seconds{op,stage} — because the
+// pipeline owns the submit and completion edges; the firmware records what
+// only it can see: NVRAM occupancy, index population, the NVRAM→flash
+// install lag, and per-log GC/wear state.
+type devMetrics struct {
+	nvramStaged  *telemetry.Gauge     // values resident in battery-backed NVRAM
+	indexEntries *telemetry.Gauge     // live mapping-table entries, all namespaces
+	flashInstall *telemetry.Histogram // NVRAM stage -> flash index swing, per record
+	gcPause      *telemetry.Histogram // one victim collection, scan to erase
+
+	// Per-log series, indexed by log ID.
+	gcCopiedBytes []*telemetry.Counter // valid bytes relocated out of victims
+	gcErases      []*telemetry.Counter // victim erases (incl. failed-erase retirements)
+	wearMin       []*telemetry.Gauge   // erase-count spread across the log's blocks,
+	wearMax       []*telemetry.Gauge   // refreshed at each victim scan
+}
+
+// newDevMetrics registers the firmware instruments in r (nil r → nil
+// metrics, telemetry off).
+func newDevMetrics(r *telemetry.Registry, numLogs int) *devMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help("kaml_ssd_nvram_staged_values", "Values staged in battery-backed NVRAM awaiting flash install.")
+	r.Help("kaml_ssd_index_entries", "Live mapping-table entries across all namespaces.")
+	r.Help("kaml_ssd_flash_install_seconds", "Per-record latency from NVRAM staging to the flash index swing (virtual time).")
+	r.Help("kaml_gc_pause_seconds", "Duration of one GC victim collection (virtual time).")
+	r.Help("kaml_gc_copied_bytes_total", "Valid bytes relocated out of GC victim blocks, per log.")
+	r.Help("kaml_gc_erases_total", "GC block erases, per log.")
+	r.Help("kaml_wear_erase_min", "Minimum block erase count observed in the log at the last victim scan.")
+	r.Help("kaml_wear_erase_max", "Maximum block erase count observed in the log at the last victim scan.")
+	m := &devMetrics{
+		nvramStaged:   r.Gauge("kaml_ssd_nvram_staged_values"),
+		indexEntries:  r.Gauge("kaml_ssd_index_entries"),
+		flashInstall:  r.Histogram("kaml_ssd_flash_install_seconds", telemetry.UnitSeconds),
+		gcPause:       r.Histogram("kaml_gc_pause_seconds", telemetry.UnitSeconds),
+		gcCopiedBytes: make([]*telemetry.Counter, numLogs),
+		gcErases:      make([]*telemetry.Counter, numLogs),
+		wearMin:       make([]*telemetry.Gauge, numLogs),
+		wearMax:       make([]*telemetry.Gauge, numLogs),
+	}
+	for i := 0; i < numLogs; i++ {
+		lbl := strconv.Itoa(i)
+		m.gcCopiedBytes[i] = r.Counter("kaml_gc_copied_bytes_total", "log", lbl)
+		m.gcErases[i] = r.Counter("kaml_gc_erases_total", "log", lbl)
+		m.wearMin[i] = r.Gauge("kaml_wear_erase_min", "log", lbl)
+		m.wearMax[i] = r.Gauge("kaml_wear_erase_max", "log", lbl)
+	}
+	return m
+}
+
+func (m *devMetrics) setNVRAMStaged(n int) {
+	if m == nil {
+		return
+	}
+	m.nvramStaged.Set(int64(n))
+}
+
+func (m *devMetrics) addIndexEntries(delta int) {
+	if m == nil {
+		return
+	}
+	m.indexEntries.Add(int64(delta))
+}
+
+func (m *devMetrics) observeFlashInstall(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.flashInstall.ObserveDuration(d)
+}
+
+func (m *devMetrics) observeGCPause(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.gcPause.ObserveDuration(d)
+}
+
+func (m *devMetrics) addGCCopiedBytes(log int, n int64) {
+	if m == nil {
+		return
+	}
+	m.gcCopiedBytes[log].Add(n)
+}
+
+func (m *devMetrics) incGCErases(log int) {
+	if m == nil {
+		return
+	}
+	m.gcErases[log].Inc()
+}
+
+func (m *devMetrics) setWearSpread(log int, min, max int64) {
+	if m == nil {
+		return
+	}
+	m.wearMin[log].Set(min)
+	m.wearMax[log].Set(max)
+}

@@ -307,6 +307,7 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 		d.rollbackStaged(undo)
 		d.nvMu.Lock()
 		d.nv.abortBatch(batchID)
+		d.noteNVRAMLocked()
 		d.nvMu.Unlock()
 		d.keyLks.unlockAll(keys)
 		return aerr
@@ -339,7 +340,12 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 
 		d.nvMu.Lock()
 		seq := d.nv.stage(r.Namespace, r.Key, r.Value, batchID)
+		d.noteNVRAMLocked()
 		d.nvMu.Unlock()
+		var stagedAt time.Duration
+		if d.met != nil {
+			stagedAt = d.eng.NowCheap()
+		}
 
 		// One upsert does the supersede lookup and the NVRAM-location
 		// install in a single probe sequence (the old Get+Put pair
@@ -388,6 +394,7 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 		lg.pending = append(lg.pending, pendingRec{
 			ns: r.Namespace, key: r.Key, seq: seq,
 			chunk: chunk, size: rec.EncodedSize(),
+			staged: stagedAt,
 		})
 		if lg.packer.FreeChunks() == 0 {
 			lg.sealPacker()
@@ -415,6 +422,7 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 	addStat(&d.stats.Puts, int64(cmds))
 	addStat(&d.stats.PutRecords, int64(len(batch)))
 	addStat(&d.stats.IndexProbes, int64(totalProbes))
+	d.met.addIndexEntries(newKeys)
 	d.keyLks.unlockAll(keys)
 	// Put's index lookups run on the controller's lookup engine and
 	// overlap with the NVRAM DMA, so the charged CPU work is the fixed

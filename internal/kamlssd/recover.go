@@ -136,6 +136,11 @@ func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*D
 	// 5. Actors first (replay below can seal pages, which needs running
 	// flushers to drain the queue), then the NVRAM replay.
 	d.startActors()
+	// Seed the index-population gauge from the rebuilt mapping tables (the
+	// registry is fresh; incremental updates resume from here).
+	for _, m := range nv.sortedCatalog() {
+		d.met.addIndexEntries(d.namespaces[m.id].index.Len())
+	}
 	if err := d.replayNVRAM(best); err != nil {
 		return nil, err
 	}

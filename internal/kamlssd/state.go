@@ -449,5 +449,10 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 		}
 	}
 	d.startActors()
+	for _, ns := range d.namespacesSorted() {
+		if !ns.swapped {
+			d.met.addIndexEntries(ns.index.Len())
+		}
+	}
 	return d, nil
 }

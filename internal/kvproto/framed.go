@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 
@@ -49,6 +50,15 @@ const (
 	// maxInFlight bounds commands a single framed connection may have
 	// executing on the device — the server-side queue depth.
 	maxInFlight = 128
+
+	// maxWriterQueue bounds one connection's completion backlog: past it
+	// the reader loop stops admitting new frames until the writer drains.
+	// The bound never blocks a simulation actor — completions of
+	// already-admitted commands always append — so the backlog can
+	// overshoot by at most maxInFlight entries. It exists for the
+	// pathological peer that pipelines requests while never reading
+	// responses, which previously grew the queue without limit.
+	maxWriterQueue = 4096
 )
 
 // writeFrame emits one frame; the caller flushes.
@@ -99,12 +109,19 @@ func statsLine(st kaml.Stats) string {
 // loop (this goroutine) admits up to maxInFlight commands, each executing
 // as its own simulation actor so the device sees real queue depth; a
 // writer goroutine serializes completions back to the wire in whatever
-// order they finish. Completions hand off through an unbounded
-// mutex-guarded queue whose critical sections never span I/O, so a
-// completing actor only ever blocks for the length of an append — a slow
-// or unreading TCP peer stalls the writer goroutine, never a simulation
-// actor (a bounded channel here would fill while the writer is stuck in a
-// send and freeze the shared virtual clock for every connection).
+// order they finish. Completions hand off through a mutex-guarded queue
+// whose critical sections never span I/O, so a completing actor only ever
+// blocks for the length of an append — a slow or unreading TCP peer stalls
+// the writer goroutine, never a simulation actor (a bounded channel here
+// would fill while the writer is stuck in a send and freeze the shared
+// virtual clock for every connection).
+//
+// The queue is bounded at the only safe point: admission. Past
+// maxWriterQueue the READER stops accepting frames until the writer
+// drains; completions of already-admitted commands still append
+// unconditionally. respCond therefore has two classes of waiters (the
+// writer waiting for work, the reader waiting for drain), so every wakeup
+// is a Broadcast.
 func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 	type resp struct {
 		status  byte
@@ -134,7 +151,9 @@ func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 			}
 			batch := respQ
 			respQ = nil
+			respCond.Broadcast() // a reader may be parked on the bound
 			respMu.Unlock()
+			s.writerQ.Add(int64(-len(batch)))
 			if broken {
 				continue // keep draining; completions are just discarded
 			}
@@ -166,15 +185,24 @@ func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 		if err != nil {
 			break
 		}
+		respMu.Lock()
+		for len(respQ) >= maxWriterQueue && !respEOF {
+			s.warnWriterBacklog(len(respQ))
+			respCond.Wait()
+		}
+		respMu.Unlock()
 		slots <- struct{}{}
 		outstanding.Add(1)
+		s.inFlight.Add(1)
 		s.dev.Go(func() {
 			defer outstanding.Done()
 			status, pl := s.execFrame(kind, payload)
 			respMu.Lock()
 			respQ = append(respQ, resp{status, id, pl})
 			respMu.Unlock()
-			respCond.Signal()
+			respCond.Broadcast()
+			s.writerQ.Add(1)
+			s.inFlight.Add(-1)
 			<-slots
 		})
 	}
@@ -185,8 +213,18 @@ func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 	respMu.Lock()
 	respEOF = true
 	respMu.Unlock()
-	respCond.Signal()
+	respCond.Broadcast()
 	<-writerDone
+}
+
+// warnWriterBacklog logs — once per server — that a connection's completion
+// backlog hit the admission bound, which almost always means a client is
+// pipelining requests without reading responses.
+func (s *Server) warnWriterBacklog(depth int) {
+	s.warnOnce.Do(func() {
+		log.Printf("kvproto: writer queue reached %d completions (bound %d); a client is not reading responses — admission paused until the backlog drains",
+			depth, maxWriterQueue)
+	})
 }
 
 // execFrame decodes and executes one framed request. Runs on a simulation

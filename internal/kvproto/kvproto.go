@@ -38,6 +38,7 @@ import (
 	"sync"
 
 	kaml "github.com/kaml-ssd/kaml"
+	"github.com/kaml-ssd/kaml/internal/telemetry"
 )
 
 // MaxValueLen bounds a PUT payload.
@@ -51,11 +52,27 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
+
+	// Telemetry (nil instruments when the device's registry is disabled).
+	// inFlight counts framed commands admitted but not yet completed across
+	// all connections; writerQ is the total backlog of completions waiting
+	// for connection writer goroutines. warnOnce fires the one-time
+	// writer-backlog warning (see handleFramed).
+	inFlight *telemetry.Gauge
+	writerQ  *telemetry.Gauge
+	warnOnce sync.Once
 }
 
 // NewServer wraps an open device.
 func NewServer(dev *kaml.Device) *Server {
-	return &Server{dev: dev, conns: make(map[net.Conn]struct{})}
+	s := &Server{dev: dev, conns: make(map[net.Conn]struct{})}
+	if r := dev.Telemetry(); r != nil {
+		r.Help("kaml_srv_inflight_requests", "Framed commands admitted and executing on the device, all connections.")
+		r.Help("kaml_srv_writer_queue_depth", "Completions queued for connection writer goroutines, all connections.")
+		s.inFlight = r.Gauge("kaml_srv_inflight_requests")
+		s.writerQ = r.Gauge("kaml_srv_writer_queue_depth")
+	}
+	return s
 }
 
 // Serve accepts connections until the listener closes.

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,6 +30,7 @@ import (
 type Engine struct {
 	mu       sync.Mutex
 	now      time.Duration // virtual time since engine start
+	nowCheap atomic.Int64  // mirrors now; lock-free reads (see NowCheap)
 	runnable int           // actors currently executing (not parked)
 	actors   int           // registered actors (running or parked)
 	timers   timerHeap
@@ -64,6 +66,15 @@ func (e *Engine) Now() time.Duration {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.now
+}
+
+// NowCheap returns the current virtual time without taking the engine
+// lock. The clock only advances while every actor is parked, so a running
+// actor always observes a stable, current value — identical to Now().
+// Hot-path telemetry timestamps use this to avoid contending the
+// scheduler mutex.
+func (e *Engine) NowCheap() time.Duration {
+	return time.Duration(e.nowCheap.Load())
 }
 
 // Serialize switches the engine into serialized scheduling: at most one
@@ -239,6 +250,7 @@ func (e *Engine) advanceLocked() {
 		panic(fmt.Sprintf("sim: timer in the past (%v < %v)", first, e.now))
 	}
 	e.now = first
+	e.nowCheap.Store(int64(first))
 	for len(e.timers) > 0 && e.timers[0].when == first {
 		t := heap.Pop(&e.timers).(*timer)
 		e.wakeLocked(t.tok)

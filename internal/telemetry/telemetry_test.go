@@ -1,0 +1,281 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/stats"
+)
+
+// TestBucketGeometry: every value lands in a bucket whose bounds contain
+// it, and bucket upper bounds are strictly increasing.
+func TestBucketGeometry(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucketUpper not increasing at %d: %d <= %d", i, bucketUpper(i), bucketUpper(i-1))
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 100000; n++ {
+		v := int64(rng.Uint64() >> (1 + rng.Intn(40)))
+		i := bucketOf(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, i)
+		}
+		if i == histBuckets-1 {
+			continue // overflow clamp
+		}
+		if v > bucketUpper(i) {
+			t.Fatalf("value %d above its bucket %d upper %d", v, i, bucketUpper(i))
+		}
+		if i > 0 && v <= bucketUpper(i-1) {
+			t.Fatalf("value %d not above bucket %d upper %d", v, i-1, bucketUpper(i-1))
+		}
+	}
+}
+
+// bucketWidth is the span of the bucket containing v — the histogram's
+// quantization granularity at that magnitude.
+func bucketWidth(v int64) int64 {
+	i := bucketOf(v)
+	if i == 0 {
+		return 1
+	}
+	return bucketUpper(i) - bucketUpper(i-1)
+}
+
+// TestHistogramAccuracy feeds identical samples to the log-bucketed
+// histogram and to the exact-quantile reservoir in internal/stats, then
+// checks every reported quantile is within one bucket width of the exact
+// answer — the bound the bucket geometry promises (1/16 relative error).
+func TestHistogramAccuracy(t *testing.T) {
+	distributions := map[string]func(*rand.Rand) int64{
+		"uniform": func(r *rand.Rand) int64 {
+			return 50_000 + r.Int63n(1_000_000)
+		},
+		"exponential": func(r *rand.Rand) int64 {
+			return int64(r.ExpFloat64() * 200_000)
+		},
+		"lognormal": func(r *rand.Rand) int64 {
+			return int64(math.Exp(r.NormFloat64()*1.5 + 11))
+		},
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return 5_000_000 + r.Int63n(100_000) // slow-path mode
+			}
+			return 20_000 + r.Int63n(5_000)
+		},
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var h Histogram
+			var exact stats.Histogram
+			for n := 0; n < 20000; n++ {
+				v := gen(rng)
+				h.Observe(v)
+				exact.Add(time.Duration(v))
+			}
+			snap := h.snapshot()
+			if snap.N != 20000 {
+				t.Fatalf("snapshot count = %d, want 20000", snap.N)
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				e := int64(exact.Quantile(q))
+				b := snap.Quantile(q)
+				if diff := b - e; diff < -bucketWidth(e) || diff > bucketWidth(e) {
+					t.Errorf("q%.2f: bucketed %d vs exact %d, |diff| %d > bucket width %d",
+						q, b, e, diff, bucketWidth(e))
+				}
+			}
+			// The mean has no quantization bound per-sample, but the sum is
+			// exact, so the means must agree to float rounding.
+			if em, bm := float64(exact.Mean()), snap.Mean(); math.Abs(em-bm) > 1 {
+				t.Errorf("mean: bucketed %.1f vs exact %.1f", bm, em)
+			}
+			if snap.MaxV != int64(exact.Max()) {
+				t.Errorf("max: bucketed %d vs exact %d", snap.MaxV, int64(exact.Max()))
+			}
+		})
+	}
+}
+
+// TestRegistryRace hammers one registry from many goroutines — writers on
+// shared instruments, re-lookups of the same series, and concurrent
+// snapshot/exposition readers — and checks the final counts. Run under
+// -race this is the concurrency-safety proof for the scrape path.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	ctr := r.Counter("race_ops_total")
+	g := r.Gauge("race_depth")
+	h := r.Histogram("race_latency_seconds", UnitSeconds)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ctr.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i%1000 + 1))
+				// Lookups race registration: same series must come back.
+				if r.Counter("race_ops_total") != ctr {
+					t.Error("lookup returned a different counter")
+					return
+				}
+				r.Counter("race_per_writer_total", "w", string(rune('a'+w))).Inc()
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if len(snap.Metrics) == 0 {
+					t.Error("snapshot lost all metrics")
+					return
+				}
+				var b strings.Builder
+				r.WritePrometheus(&b)
+				if !strings.Contains(b.String(), "race_ops_total") {
+					t.Error("exposition lost race_ops_total")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := ctr.Value(); got != writers*perG {
+		t.Fatalf("counter = %d, want %d", got, writers*perG)
+	}
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perG)
+	}
+}
+
+// TestSnapshotMerge: counters and gauges sum by name+labels, histograms
+// merge bucket-by-bucket, unseen series append.
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("ops", "log", "0").Add(3)
+	b.Counter("ops", "log", "0").Add(4)
+	b.Counter("ops", "log", "1").Add(9)
+	ah := a.Histogram("lat", UnitNone)
+	bh := b.Histogram("lat", UnitNone)
+	for i := int64(1); i <= 100; i++ {
+		ah.Observe(i)
+		bh.Observe(i * 1000)
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	byKey := map[string]*MetricSnap{}
+	for i := range s.Metrics {
+		byKey[snapKey(&s.Metrics[i])] = &s.Metrics[i]
+	}
+	if v := byKey["ops|log=0"]; v == nil || v.Value != 7 {
+		t.Fatalf("merged ops|log=0 = %+v, want 7", v)
+	}
+	if v := byKey["ops|log=1"]; v == nil || v.Value != 9 {
+		t.Fatalf("merged ops|log=1 = %+v, want 9", v)
+	}
+	lat := byKey[`lat`]
+	if lat == nil || lat.Count != 200 {
+		t.Fatalf("merged lat = %+v, want count 200", lat)
+	}
+	if lat.hist.MaxV != 100000 {
+		t.Fatalf("merged max = %d, want 100000", lat.hist.MaxV)
+	}
+}
+
+// TestWritePrometheus checks the exposition format essentials: TYPE/HELP
+// comments, label rendering, cumulative le buckets ending in +Inf, and
+// nanosecond→second scaling for UnitSeconds histograms.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Help("kv_ops_total", "operations served")
+	r.Counter("kv_ops_total", "op", "get").Add(12)
+	h := r.Histogram("kv_latency_seconds", UnitSeconds, "op", "get")
+	h.Observe(int64(2 * time.Millisecond)) // 2e6 ns → 2e-3 s
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP kv_ops_total operations served",
+		"# TYPE kv_ops_total counter",
+		`kv_ops_total{op="get"} 12`,
+		"# TYPE kv_latency_seconds histogram",
+		`kv_latency_seconds_count{op="get"} 1`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The single 2ms observation must sit in a bucket whose le is near
+	// 2e-3 seconds, not near 2e6 (i.e. the ns→s scaling happened).
+	if strings.Contains(out, `le="2097151"`) {
+		t.Errorf("histogram le rendered in nanoseconds:\n%s", out)
+	}
+	if !strings.Contains(out, "kv_latency_seconds_sum") {
+		t.Errorf("missing _sum series:\n%s", out)
+	}
+}
+
+// TestNilSafety: a nil registry and nil instruments are inert — the
+// telemetry-off configuration calls these on every hot-path operation.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", UnitSeconds)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	g.Add(-1)
+	g.SetMax(9)
+	h.Observe(123)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if s := r.Snapshot(); len(s.Metrics) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+// TestRegistryKindConflict: re-registering a name as a different kind is a
+// programming error and must panic loudly rather than alias.
+func TestRegistryKindConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r.Gauge("a")
+}

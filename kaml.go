@@ -44,6 +44,7 @@ import (
 	"github.com/kaml-ssd/kaml/internal/nvme"
 	"github.com/kaml-ssd/kaml/internal/sim"
 	"github.com/kaml-ssd/kaml/internal/storage"
+	"github.com/kaml-ssd/kaml/internal/telemetry"
 )
 
 // Errors surfaced by the public API.
@@ -693,3 +694,11 @@ type Stats = kamlssd.Stats
 
 // Stats returns device counters (programs, GC activity, probes, ...).
 func (d *Device) Stats() Stats { return d.dev.Stats() }
+
+// Telemetry returns the device's metrics registry (counters, gauges,
+// per-stage latency histograms), or nil when
+// Options.Firmware.DisableTelemetry is set. The registry is read with
+// atomic snapshots only, so scraping it from plain goroutines (an HTTP
+// admin endpoint, a bench reporter) never touches the simulation's clock
+// or locks.
+func (d *Device) Telemetry() *telemetry.Registry { return d.dev.Telemetry() }
