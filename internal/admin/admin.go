@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	kaml "github.com/kaml-ssd/kaml"
+	"github.com/kaml-ssd/kaml/internal/cluster"
 )
 
 // Handler returns the admin mux for one device. Routes:
@@ -61,6 +62,46 @@ func Handler(dev *kaml.Device) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("kamlsrv admin\n\n/metrics\n/statusz\n/debug/pprof/\n"))
+	})
+	return mux
+}
+
+// ClusterHandler returns the admin mux for a cluster: the same routes as
+// Handler, but /metrics exposes the cluster registry (per-shard Get/Put
+// latency, replica lag, migration progress, hedged-read counters) and
+// /statusz leads with the topology — epoch, node liveness, shard
+// placement, and the failover/migration/hedging counters. Both read only
+// atomic snapshots, so scraping never blocks a simulation actor.
+func ClusterHandler(cl *cluster.Cluster) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		var b strings.Builder
+		cl.Telemetry().WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		status := struct {
+			Cluster   cluster.Status `json:"cluster"`
+			Telemetry interface{}    `json:"telemetry,omitempty"`
+		}{Cluster: cl.Status(), Telemetry: cl.Telemetry().Snapshot()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(status)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("kamlsrv cluster admin\n\n/metrics\n/statusz\n/debug/pprof/\n"))
 	})
 	return mux
 }

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+// Migrate moves shard shardID's replica from one device to another
+// without stopping writes — the live-rebalancing half of the cluster.
+// The state machine:
+//
+//  1. PREPARE   — create the destination namespace; install the migration
+//     record under the topology lock and bump the epoch
+//     (clients see Migrating=true).
+//  2. BARRIER   — wait for writes that registered before the migration
+//     (mode "pre") to drain: every later write dual-writes to
+//     the old replica set AND the destination, so from here
+//     on the destination misses nothing new.
+//  3. FREEZE    — snapshot the source namespace with the firmware's
+//     snapshot machinery (an index clone at a cutoff
+//     sequence) and enumerate its frozen key set.
+//  4. COPY      — stream each frozen key to the destination. Keys that a
+//     dual write already refreshed are skipped; a key being
+//     copied is briefly write-excluded (writers park on the
+//     shard condition) so a stale snapshot value can never
+//     overtake a fresh dual write at the destination.
+//  5. CUTOVER   — gate new writes, drain in-flight ones, swap the
+//     replica-set entry to the destination, bump the epoch,
+//     reopen the gate. Reads never stop: they follow the old
+//     replica set until the swap, the new one after.
+//  6. CLEANUP   — retire the source namespace and its snapshot.
+//
+// A replica failure mid-migration (either endpoint dying, or a dual
+// write that the old set acked but the destination missed) marks the
+// migration failed; it aborts before cutover and the shard keeps its old
+// placement. Call from a simulation actor.
+func (c *Cluster) Migrate(shardID, fromNode, toNode int) error {
+	if c.closed.Load() {
+		return ErrClusterClosed
+	}
+	if shardID < 0 || shardID >= len(c.shards) || fromNode < 0 || fromNode >= len(c.nodes) ||
+		toNode < 0 || toNode >= len(c.nodes) || fromNode == toNode {
+		return fmt.Errorf("%w: shard %d from %d to %d", ErrNotReplica, shardID, fromNode, toNode)
+	}
+	sh := c.shards[shardID]
+	fromDev := c.nodes[fromNode].Dev
+	toDev := c.nodes[toNode].Dev
+	if c.nodes[fromNode].Down() || c.nodes[toNode].Down() {
+		return fmt.Errorf("%w: node down", ErrNotReplica)
+	}
+
+	// PREPARE: the destination namespace is created before any shared
+	// state changes, so a failure here is a clean no-op.
+	destNS, err := toDev.CreateNamespace(kaml.NamespaceOptions{
+		ExpectedKeys: c.cfg.ExpectedKeysPerShard,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: creating migration dest namespace: %w", err)
+	}
+	mig := &migration{
+		from: fromNode, to: toNode, destNS: destNS,
+		written: make(map[uint64]struct{}),
+		copying: make(map[uint64]struct{}),
+	}
+	c.mu.Lock()
+	sh.mu.Lock()
+	install := func() error {
+		if sh.mig != nil {
+			return ErrMigrating
+		}
+		found := false
+		for _, r := range sh.replicas {
+			if r.node == fromNode {
+				mig.srcNS = r.ns
+				found = true
+			}
+			if r.node == toNode {
+				return fmt.Errorf("%w: node %d already holds shard %d", ErrNotReplica, toNode, shardID)
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: node %d does not hold shard %d", ErrNotReplica, fromNode, shardID)
+		}
+		sh.mig = mig
+		c.met.migProgress[shardID].Set(0)
+		c.bumpEpochLocked()
+		return nil
+	}
+	if err := install(); err != nil {
+		sh.mu.Unlock()
+		c.mu.Unlock()
+		_ = toDev.DeleteNamespace(destNS)
+		return err
+	}
+	sh.mu.Unlock()
+	c.mu.Unlock()
+
+	// BARRIER: drain pre-migration writes. Anything that registers after
+	// the install above is dual-written, so once this count hits zero the
+	// snapshot will contain every write the destination won't hear about.
+	sh.mu.Lock()
+	for sh.inflightPre > 0 && !mig.failed {
+		sh.cond.Wait()
+	}
+	failed := mig.failed
+	sh.mu.Unlock()
+	if failed {
+		return c.abortMigration(sh, mig, 0, fmt.Errorf("replica failed during write barrier"))
+	}
+
+	// FREEZE: clone the source index at a cutoff; enumerate its keys.
+	snap, err := fromDev.Snapshot(mig.srcNS)
+	if err != nil {
+		return c.abortMigration(sh, mig, 0, fmt.Errorf("snapshotting source: %w", err))
+	}
+	keys, err := fromDev.NamespaceKeys(snap)
+	if err != nil {
+		return c.abortMigration(sh, mig, snap, fmt.Errorf("enumerating snapshot: %w", err))
+	}
+
+	// COPY: stream the frozen keys, yielding to dual writes.
+	total := len(keys)
+	for i, key := range keys {
+		sh.mu.Lock()
+		if mig.failed {
+			sh.mu.Unlock()
+			return c.abortMigration(sh, mig, snap, fmt.Errorf("replica failed during copy"))
+		}
+		if _, fresher := mig.written[key]; fresher {
+			sh.mu.Unlock()
+			c.setProgress(shardID, i+1, total)
+			continue
+		}
+		mig.copying[key] = struct{}{}
+		sh.mu.Unlock()
+
+		val, gerr := fromDev.Get(snap, key)
+		var perr error
+		if gerr == nil {
+			perr = toDev.Put(destNS, key, val)
+		}
+
+		sh.mu.Lock()
+		delete(mig.copying, key)
+		if gerr != nil || perr != nil {
+			mig.failed = true
+		}
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+		if gerr != nil {
+			return c.abortMigration(sh, mig, snap, fmt.Errorf("reading key %d from snapshot: %w", key, gerr))
+		}
+		if perr != nil {
+			return c.abortMigration(sh, mig, snap, fmt.Errorf("copying key %d to dest: %w", key, perr))
+		}
+		c.setProgress(shardID, i+1, total)
+	}
+
+	// CUTOVER: gate new writes, drain in-flight ones, swap the replica.
+	// The drain waits on the shard condition while holding the topology
+	// lock — safe, because a completing write only needs sh.mu to
+	// deregister (it defers any markDown until after).
+	c.mu.Lock()
+	sh.mu.Lock()
+	sh.gate = true
+	for sh.inflightPre+sh.inflightDual > 0 && !mig.failed {
+		sh.cond.Wait()
+	}
+	if mig.failed {
+		sh.gate = false
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+		c.mu.Unlock()
+		return c.abortMigration(sh, mig, snap, fmt.Errorf("replica failed during cutover drain"))
+	}
+	swapped := false
+	for i, r := range sh.replicas {
+		if r.node == fromNode {
+			sh.replicas[i] = replica{node: toNode, ns: destNS}
+			swapped = true
+			break
+		}
+	}
+	if !swapped {
+		// The source replica vanished (markDown would also have set
+		// mig.failed, but be defensive).
+		sh.gate = false
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+		c.mu.Unlock()
+		return c.abortMigration(sh, mig, snap, fmt.Errorf("source replica left the set"))
+	}
+	delete(sh.applied, fromNode)
+	// The destination heard every dual write and every copy; it is as
+	// caught up as an acked replica can be.
+	sh.applied[toNode] = sh.acked
+	sh.mig = nil
+	sh.gate = false
+	c.met.migrations.Inc()
+	c.met.migProgress[shardID].Set(100)
+	c.updateLagLocked(sh)
+	c.bumpEpochLocked()
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	c.mu.Unlock()
+
+	// CLEANUP: the snapshot and the source namespace are garbage now.
+	// Best-effort — the source may die right here and that is fine.
+	_ = fromDev.DeleteNamespace(snap)
+	_ = fromDev.DeleteNamespace(mig.srcNS)
+	return nil
+}
+
+// setProgress publishes copy progress as a percentage.
+func (c *Cluster) setProgress(shardID, done, total int) {
+	if total == 0 {
+		c.met.migProgress[shardID].Set(100)
+		return
+	}
+	c.met.migProgress[shardID].Set(int64(done * 100 / total))
+}
+
+// abortMigration tears down a failed migration: the shard keeps its old
+// placement, waiting writers are released, and the destination namespace
+// plus the source snapshot are retired best-effort.
+func (c *Cluster) abortMigration(sh *shard, mig *migration, snap kaml.Namespace, cause error) error {
+	c.mu.Lock()
+	sh.mu.Lock()
+	if sh.mig == mig {
+		sh.mig = nil
+	}
+	sh.gate = false
+	c.met.migProgress[sh.id].Set(0)
+	c.bumpEpochLocked()
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	c.mu.Unlock()
+	if snap != 0 && !c.nodes[mig.from].Down() {
+		_ = c.nodes[mig.from].Dev.DeleteNamespace(snap)
+	}
+	if !c.nodes[mig.to].Down() {
+		_ = c.nodes[mig.to].Dev.DeleteNamespace(mig.destNS)
+	}
+	return fmt.Errorf("cluster: migration of shard %d (%d -> %d) aborted: %w", sh.id, mig.from, mig.to, cause)
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSmokeKamlCluster runs the cluster SLO scenario at a small scale and
+// asserts the scenario's invariants: the disruption schedule actually
+// fired (one migration, at least one failover), hedging actually hedged,
+// and the recorded client history shows zero linearizability violations.
+func TestSmokeKamlCluster(t *testing.T) {
+	tb := KamlCluster(0.1)
+	fmt.Println(tb.Render())
+	var sawHedge bool
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "VIOLATION") {
+			t.Errorf("linearizability violation reported: %s", n)
+		}
+		if strings.Contains(n, "violations=") && !strings.Contains(n, "violations=0") {
+			t.Errorf("nonzero violation count: %s", n)
+		}
+		if strings.Contains(n, "migrations=") && !strings.Contains(n, "migrations=1") {
+			t.Errorf("migration did not complete exactly once: %s", n)
+		}
+		if strings.Contains(n, "failovers=0") {
+			t.Errorf("forced failover never happened: %s", n)
+		}
+		if strings.HasPrefix(n, "hedge=on") && !strings.Contains(n, "issued=0") {
+			sawHedge = true
+		}
+	}
+	if !sawHedge {
+		t.Error("hedge=on cell issued no hedged reads")
+	}
+}

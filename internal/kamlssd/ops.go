@@ -473,6 +473,47 @@ func (d *Device) Flush() {
 	}
 }
 
+// NamespaceKeys returns every key in the namespace's mapping table in
+// ascending order. It is the shard-migration hook: a migrator snapshots a
+// namespace, enumerates the snapshot's frozen key set with this call, and
+// streams each record to the destination device with Get+Put while new
+// writes keep flowing to the origin (internal/cluster). Controller time is
+// charged proportional to the table scan, like a snapshot's bulk copy.
+func (d *Device) NamespaceKeys(nsID uint32) ([]uint64, error) {
+	if d.closed.Load() {
+		return nil, d.closedErr()
+	}
+	ns, lerr := d.lookupNS(nsID)
+	if lerr != nil {
+		return nil, lerr
+	}
+	var keys []uint64
+	var err error
+	d.ctrl.Submit(func() {
+		ns.mu.RLock()
+		if ns.swapped {
+			ns.mu.RUnlock()
+			err = ErrSwappedOut
+			return
+		}
+		keys = make([]uint64, 0, ns.index.Len())
+		ns.index.Range(func(key, _ uint64) bool {
+			keys = append(keys, key)
+			return true
+		})
+		probes := ns.index.Len()
+		ns.mu.RUnlock()
+		d.ctrl.ComputeProbes(probes / 64)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The hash table ranges in slot order; sort so migration copy order —
+	// and with it the virtual-time schedule — never depends on hash layout.
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys, nil
+}
+
 // Exists reports whether the key is present without transferring the value
 // (diagnostic helper; not a paper command).
 func (d *Device) Exists(nsID uint32, key uint64) (bool, error) {

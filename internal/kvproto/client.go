@@ -16,6 +16,48 @@ var ErrNotFound = errors.New("kvproto: key not found")
 // ErrClientClosed reports use of a client after Close.
 var ErrClientClosed = errors.New("kvproto: client closed")
 
+// ErrRetryable marks transport-level failures — a refused dial, a torn
+// connection, a corrupt frame stream — where retrying against a fresh
+// connection (or, in a cluster, another node) is sound because the
+// failure says nothing about the request's outcome being observed.
+// Callers test with errors.Is(err, ErrRetryable); the original transport
+// error stays reachable through errors.Unwrap/Is. A deliberate Close is
+// NOT retryable.
+var ErrRetryable = errors.New("kvproto: retryable transport error")
+
+// retryableError brands a transport error as ErrRetryable while keeping
+// the cause unwrappable.
+type retryableError struct{ cause error }
+
+func (e *retryableError) Error() string { return "kvproto: retryable: " + e.cause.Error() }
+func (e *retryableError) Unwrap() error { return e.cause }
+func (e *retryableError) Is(target error) bool {
+	return target == ErrRetryable
+}
+
+// wrapRetryable brands err, except for the deliberate-shutdown verdict
+// (and idempotently).
+func wrapRetryable(err error) error {
+	if err == nil || errors.Is(err, ErrClientClosed) || errors.Is(err, ErrRetryable) {
+		return err
+	}
+	return &retryableError{cause: err}
+}
+
+// MovedError is a cluster server's redirect: the key's shard is served by
+// another node (as of Epoch). Node is -1 when the shard currently has no
+// live primary. The cluster client consumes these internally; they
+// surface only when redirects exceed the retry budget.
+type MovedError struct {
+	Epoch uint64
+	Shard uint32
+	Node  int32
+}
+
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("kvproto: moved: shard %d is at node %d (epoch %d)", e.Shard, e.Node, e.Epoch)
+}
+
 // Client speaks the framed v2 protocol and pipelines: any number of
 // goroutines may issue requests concurrently on one connection, and the
 // async variants let a single goroutine keep a window of commands in
@@ -27,7 +69,8 @@ var ErrClientClosed = errors.New("kvproto: client closed")
 // connection can never leave a caller parked forever or mis-deliver a
 // stray completion.
 type Client struct {
-	conn net.Conn
+	conn  net.Conn
+	epoch uint64 // topology epoch from the handshake; 0 for single-device servers
 
 	wmu sync.Mutex // serializes frame writes
 	w   *bufio.Writer
@@ -45,21 +88,24 @@ type rframe struct {
 	err     error
 }
 
-// Dial connects to a server and performs the KVP2 handshake.
+// Dial connects to a server and performs the KVP2 handshake. Connection
+// failures are branded ErrRetryable — nothing was submitted yet.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, wrapRetryable(err)
 	}
 	c, err := NewClient(conn)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, wrapRetryable(err)
 	}
 	return c, nil
 }
 
 // NewClient upgrades an established connection to the framed protocol.
+// Single-device servers reply "OK KVP2"; cluster servers append their
+// topology epoch ("OK KVP2 EPOCH <n>"), which Epoch exposes.
 func NewClient(conn net.Conn) (*Client, error) {
 	r := bufio.NewReader(conn)
 	if _, err := fmt.Fprintf(conn, "%s\n", Handshake); err != nil {
@@ -69,17 +115,30 @@ func NewClient(conn net.Conn) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	if line != handshakeReply {
-		return nil, fmt.Errorf("kvproto: handshake rejected: %q", strings.TrimSpace(line))
+	reply := strings.TrimSpace(line)
+	var epoch uint64
+	switch {
+	case reply == strings.TrimSpace(handshakeReply):
+	case strings.HasPrefix(reply, epochReplyPrefix):
+		if _, err := fmt.Sscanf(reply, epochReplyPrefix+"%d", &epoch); err != nil {
+			return nil, fmt.Errorf("kvproto: bad epoch handshake %q", reply)
+		}
+	default:
+		return nil, fmt.Errorf("kvproto: handshake rejected: %q", reply)
 	}
 	c := &Client{
 		conn:    conn,
+		epoch:   epoch,
 		w:       bufio.NewWriter(conn),
 		pending: make(map[uint64]chan rframe),
 	}
 	go c.readLoop(r)
 	return c, nil
 }
+
+// Epoch returns the server's topology epoch from the handshake (zero for
+// single-device servers, which predate epochs).
+func (c *Client) Epoch() uint64 { return c.epoch }
 
 // readLoop delivers completions by request ID until the transport dies.
 func (c *Client) readLoop(r *bufio.Reader) {
@@ -105,8 +164,11 @@ func (c *Client) readLoop(r *bufio.Reader) {
 
 // poison records the first transport error and fails every outstanding
 // request with it. The pending channels have capacity 1, so delivery never
-// blocks.
+// blocks. Transport deaths are branded ErrRetryable (a deliberate Close
+// is not): the request MAY have executed server-side, so only callers
+// with idempotent or cluster-replicated operations should retry.
 func (c *Client) poison(err error) {
+	err = wrapRetryable(err)
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
@@ -164,6 +226,15 @@ func await(ch chan rframe) ([]byte, error) {
 		return nil, ErrNotFound
 	case stErr:
 		return nil, errors.New(string(f.payload))
+	case stMoved:
+		if len(f.payload) != 16 {
+			return nil, fmt.Errorf("kvproto: bad MOVED payload (%d bytes)", len(f.payload))
+		}
+		return nil, &MovedError{
+			Epoch: binary.BigEndian.Uint64(f.payload[0:8]),
+			Shard: binary.BigEndian.Uint32(f.payload[8:12]),
+			Node:  int32(binary.BigEndian.Uint32(f.payload[12:16])),
+		}
 	default:
 		return nil, fmt.Errorf("kvproto: unknown status %d", f.status)
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	kaml "github.com/kaml-ssd/kaml"
+	"github.com/kaml-ssd/kaml/internal/telemetry"
 )
 
 // The framed protocol (v2). A client opts in by sending the text line
@@ -31,6 +32,11 @@ const (
 	Handshake      = "KVP2"
 	handshakeReply = "OK KVP2\n"
 
+	// epochReplyPrefix starts a cluster server's handshake reply: the
+	// topology epoch rides along so a client knows how fresh its cached
+	// routing is before the first frame ("OK KVP2 EPOCH <n>").
+	epochReplyPrefix = "OK KVP2 EPOCH "
+
 	// Request opcodes.
 	reqGet      = 1
 	reqPut      = 2
@@ -38,11 +44,13 @@ const (
 	reqDelete   = 4
 	reqSnapshot = 5
 	reqStats    = 6
+	reqTopo     = 7 // cluster servers only: fetch the routing table
 
 	// Response statuses.
 	stOK       = 0
 	stErr      = 1
 	stNotFound = 2
+	stMoved    = 3 // cluster servers only: u64 epoch | u32 shard | u32 node
 
 	// maxFrame bounds a frame body; above MaxValueLen plus header room.
 	maxFrame = MaxValueLen + 64
@@ -105,7 +113,29 @@ func statsLine(st kaml.Stats) string {
 		st.PipelineMaxQueue, st.PipelineMeanQueue)
 }
 
-// handleFramed serves one connection after the KVP2 handshake. A reader
+// framedBackend is what a framed connection needs from whoever owns the
+// storage: a way to run a command as a simulation actor, the command
+// decoder/executor itself, and the shared telemetry hooks. Server (one
+// device) and ClusterServer (one node of a cluster) both implement it, so
+// the delicate reader/writer pump below exists exactly once.
+type framedBackend interface {
+	goExec(fn func())                                 // spawn fn as a simulation actor
+	exec(kind byte, payload []byte) (byte, []byte)    // decode + run one frame (on an actor)
+	pumpGauges() (inFlight, writerQ *telemetry.Gauge) // nil-safe instruments
+	warnBacklog(depth int)
+}
+
+func (s *Server) goExec(fn func())                                 { s.dev.Go(fn) }
+func (s *Server) exec(kind byte, payload []byte) (byte, []byte)    { return s.execFrame(kind, payload) }
+func (s *Server) pumpGauges() (*telemetry.Gauge, *telemetry.Gauge) { return s.inFlight, s.writerQ }
+func (s *Server) warnBacklog(depth int)                            { s.warnWriterBacklog(depth) }
+
+// handleFramed serves one connection after the KVP2 handshake.
+func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+	serveFramed(s, conn, r, w)
+}
+
+// serveFramed pumps one framed connection. A reader
 // loop (this goroutine) admits up to maxInFlight commands, each executing
 // as its own simulation actor so the device sees real queue depth; a
 // writer goroutine serializes completions back to the wire in whatever
@@ -122,7 +152,8 @@ func statsLine(st kaml.Stats) string {
 // unconditionally. respCond therefore has two classes of waiters (the
 // writer waiting for work, the reader waiting for drain), so every wakeup
 // is a Broadcast.
-func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+func serveFramed(b framedBackend, conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+	inFlightG, writerQG := b.pumpGauges()
 	type resp struct {
 		status  byte
 		id      uint64
@@ -153,7 +184,7 @@ func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 			respQ = nil
 			respCond.Broadcast() // a reader may be parked on the bound
 			respMu.Unlock()
-			s.writerQ.Add(int64(-len(batch)))
+			writerQG.Add(int64(-len(batch)))
 			if broken {
 				continue // keep draining; completions are just discarded
 			}
@@ -187,22 +218,22 @@ func (s *Server) handleFramed(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 		}
 		respMu.Lock()
 		for len(respQ) >= maxWriterQueue && !respEOF {
-			s.warnWriterBacklog(len(respQ))
+			b.warnBacklog(len(respQ))
 			respCond.Wait()
 		}
 		respMu.Unlock()
 		slots <- struct{}{}
 		outstanding.Add(1)
-		s.inFlight.Add(1)
-		s.dev.Go(func() {
+		inFlightG.Add(1)
+		b.goExec(func() {
 			defer outstanding.Done()
-			status, pl := s.execFrame(kind, payload)
+			status, pl := b.exec(kind, payload)
 			respMu.Lock()
 			respQ = append(respQ, resp{status, id, pl})
 			respMu.Unlock()
 			respCond.Broadcast()
-			s.writerQ.Add(1)
-			s.inFlight.Add(-1)
+			writerQG.Add(1)
+			inFlightG.Add(-1)
 			<-slots
 		})
 	}

@@ -245,6 +245,11 @@ type HistSnapshot struct {
 	MaxV    int64              `json:"max"`
 }
 
+// Snapshot returns a point-in-time copy of the histogram. It walks every
+// bucket, so callers that poll it (the cluster's hedging policy deriving
+// its p95 delay) should amortize across many observations. Nil-safe.
+func (h *Histogram) Snapshot() HistSnapshot { return h.snapshot() }
+
 // snapshot copies the histogram's state.
 func (h *Histogram) snapshot() HistSnapshot {
 	var s HistSnapshot

@@ -542,6 +542,15 @@ func (d *Device) AsyncPutBatch(records []Record) *PutFuture {
 	return fut
 }
 
+// NamespaceKeys returns every key in the namespace in ascending order.
+// Combined with Snapshot it is the live-migration primitive: snapshot a
+// namespace, enumerate the snapshot's frozen key set, and stream the
+// records elsewhere while writes keep flowing to the origin (see
+// internal/cluster).
+func (d *Device) NamespaceKeys(ns Namespace) ([]uint64, error) {
+	return d.dev.NamespaceKeys(ns)
+}
+
 // Flush waits until every acknowledged Put has reached flash. KAML's
 // durability does not require it (the staging buffers are battery-backed);
 // it exists for tests and orderly shutdown.
