@@ -22,6 +22,13 @@
 // error. Completions signal the queue-space condition, so waiters resume in
 // FIFO order and throughput degrades gracefully instead of failing.
 //
+// Occupancy itself is an atomic counter, not mutex-guarded state: while the
+// pipeline has room, acceptance is one CAS and completion one subtract, and
+// the pipeline lock is touched only to route a command to its queue or
+// coalescer shard. RunDirect goes further and executes a direct command on
+// the calling actor, which leaves the synchronous read path with no
+// pipeline-induced parking at all (see the method comment).
+//
 // # Determinism
 //
 // Everything blocks on sim primitives (FIFO mutexes, condition variables,
@@ -110,17 +117,28 @@ type Result struct {
 // Future is a command's pending completion. Wait parks the calling actor on
 // the virtual clock until the command completes; it is safe to Wait from
 // multiple actors and to Wait repeatedly.
+//
+// The fast path is lock-free: complete publishes the result with one atomic
+// store, and a Wait or Ready that arrives afterwards returns without
+// touching a sim primitive. The mutex/cond pair a blocking Wait parks on is
+// created lazily by the first waiter that actually needs to block — under a
+// loaded pipeline most completions resolve before their waiter gets there,
+// so the common future never allocates (or contends on) either.
 type Future struct {
-	mu   *sim.Mutex
-	cv   *sim.Cond
-	done bool
-	res  Result
+	eng   *sim.Engine
+	ready atomic.Uint32              // 1 once res is published
+	park  atomic.Pointer[futurePark] // installed by the first blocking waiter
+	res   Result
+}
+
+// futurePark is the parking lot a blocking Wait rides on.
+type futurePark struct {
+	mu *sim.Mutex
+	cv *sim.Cond
 }
 
 func newFuture(eng *sim.Engine) *Future {
-	f := &Future{mu: eng.NewMutex("cmdq-fut")}
-	f.cv = eng.NewCond(f.mu)
-	return f
+	return &Future{eng: eng}
 }
 
 // Resolved returns an already-completed future. Validation failures (and
@@ -128,36 +146,53 @@ func newFuture(eng *sim.Engine) *Future {
 // pipeline.
 func Resolved(eng *sim.Engine, res Result) *Future {
 	f := newFuture(eng)
-	f.done = true
 	f.res = res
+	f.ready.Store(1)
 	return f
 }
 
 // Wait blocks the calling actor until the command completes and returns its
 // result.
 func (f *Future) Wait() Result {
-	f.mu.Lock()
-	for !f.done {
-		f.cv.Wait()
+	if f.ready.Load() != 0 {
+		return f.res
 	}
-	f.mu.Unlock()
+	pk := f.park.Load()
+	if pk == nil {
+		n := &futurePark{mu: f.eng.NewMutex("cmdq-fut")}
+		n.cv = f.eng.NewCond(n.mu)
+		if f.park.CompareAndSwap(nil, n) {
+			pk = n
+		} else {
+			pk = f.park.Load() // another waiter won the install race
+		}
+	}
+	pk.mu.Lock()
+	for f.ready.Load() == 0 {
+		pk.cv.Wait()
+	}
+	pk.mu.Unlock()
 	return f.res
 }
 
 // Ready reports whether the command has already completed.
-func (f *Future) Ready() bool {
-	f.mu.Lock()
-	done := f.done
-	f.mu.Unlock()
-	return done
-}
+func (f *Future) Ready() bool { return f.ready.Load() != 0 }
 
+// complete publishes res and wakes any parked waiters. The ready/park
+// accesses are seq-cst, which closes the race with a concurrent Wait: if
+// complete's park.Load sees nil, the waiter's park install came later in
+// the total order, so the waiter's next ready check sees 1 and it never
+// blocks; if complete sees the parking lot, its broadcast runs under the
+// lot's mutex and so cannot slip between a waiter's ready check and its
+// cv.Wait.
 func (f *Future) complete(res Result) {
-	f.mu.Lock()
 	f.res = res
-	f.done = true
-	f.cv.Broadcast()
-	f.mu.Unlock()
+	f.ready.Store(1)
+	if pk := f.park.Load(); pk != nil {
+		pk.mu.Lock()
+		pk.cv.Broadcast()
+		pk.mu.Unlock()
+	}
 }
 
 // Config tunes a pipeline.
@@ -245,14 +280,27 @@ type Pipeline struct {
 	exec func(*Command) Result
 	m    *Metrics // nil when telemetry is disabled
 
-	mu      *sim.Mutex
-	notFull *sim.Cond // occupancy < Depth
-	work    *sim.Cond // direct queue non-empty, or shutdown
-	queue   []task    // direct (non-coalesced) commands, FIFO
-	occ     int
+	mu         *sim.Mutex
+	notFull    *sim.Cond // occupancy < Depth
+	work       *sim.Cond // direct queue non-empty, or shutdown
+	inlineIdle *sim.Cond // no RunDirect execution in flight (shutdown drain)
+	queue      []task    // direct (non-coalesced) commands, FIFO
 
-	closing bool  // no new submissions; drain what was accepted
-	poison  error // non-nil: fail queued work instead of executing it
+	// occ is the current occupancy. It is atomic — not guarded by p.mu —
+	// so the direct path (RunDirect) can reserve and release slots with a
+	// CAS instead of a sim-mutex round-trip; p.mu still serializes the
+	// backpressure slow path (parking on notFull) and all queue routing.
+	occ atomic.Int64
+	// bpWaiters counts actors registered for a queue-space wakeup. A waiter
+	// registers BEFORE each claim attempt and stays registered across its
+	// park, so a lock-free release that reads zero here is guaranteed the
+	// waiter's own (later) claim attempt will see the freed slot.
+	bpWaiters atomic.Int64
+	inline    atomic.Int64 // RunDirect executions in flight
+
+	closing  bool        // no new submissions; drain what was accepted
+	closingA atomic.Bool // mirrors closing for the lock-free RunDirect entry
+	poison   error       // non-nil: fail queued work instead of executing it
 
 	// coMap/coList index the coalescer shards; the slice keeps shutdown
 	// broadcasts in creation order for determinism.
@@ -287,6 +335,7 @@ func New(eng *sim.Engine, cfg Config, exec func(*Command) Result) *Pipeline {
 	}
 	p.notFull = eng.NewCond(p.mu)
 	p.work = eng.NewCond(p.mu)
+	p.inlineIdle = eng.NewCond(p.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		p.wg.Add(1)
 		eng.Go(fmt.Sprintf("cmdq-worker%d", i), p.workerLoop)
@@ -300,28 +349,16 @@ func New(eng *sim.Engine, cfg Config, exec func(*Command) Result) *Pipeline {
 // error.
 func (p *Pipeline) Submit(cmd *Command) *Future {
 	p.mu.Lock()
-	waited := false
-	for p.occ >= p.cfg.Depth && !p.closing {
-		waited = true
-		p.notFull.Wait()
-	}
+	waited, ok := p.reserveLocked()
 	if waited {
 		p.m.noteBackpressure()
 	}
-	if p.closing {
+	if !ok {
 		err := p.shutdownErrLocked()
 		p.mu.Unlock()
 		return Resolved(p.eng, Result{Err: err})
 	}
 	fut := newFuture(p.eng)
-	p.occ++
-	p.submitted.Add(1)
-	if int64(p.occ) > p.maxOcc.Load() {
-		p.maxOcc.Store(int64(p.occ))
-	}
-	p.occSum.Add(int64(p.occ))
-	p.occSamples.Add(1)
-	p.m.setDepth(p.occ)
 	t := task{cmd: cmd, fut: fut}
 	if p.m != nil {
 		t.at = p.eng.NowCheap()
@@ -334,6 +371,70 @@ func (p *Pipeline) Submit(cmd *Command) *Future {
 	}
 	p.mu.Unlock()
 	return fut
+}
+
+// RunDirect executes a direct (non-coalesced) command synchronously on the
+// calling actor and returns its completed result. It is the zero-handoff
+// twin of Submit(cmd).Wait(): the command counts against Depth and honors
+// backpressure and shutdown exactly like a submitted one, but on an open,
+// non-full pipeline acceptance is a single atomic CAS and completion a
+// single atomic subtract — no worker wakeup, no future, no sim primitive
+// beyond what exec itself performs. The synchronous Get path rides this, so
+// a read's only remaining engine traffic is the flash access; concurrent
+// readers share nothing hotter than the occupancy counter.
+func (p *Pipeline) RunDirect(cmd *Command) Result {
+	// The inline registration is ordered before the closingA check, so a
+	// shutdown that does not observe this execution in drainInline is one
+	// whose closing flag this op observed — it bails out without executing.
+	p.inline.Add(1)
+	defer p.inlineDone()
+	if p.closingA.Load() || !p.reserveFast() {
+		// Full or closing: park under the lock exactly like Submit.
+		p.mu.Lock()
+		waited, ok := p.reserveLocked()
+		if waited {
+			p.m.noteBackpressure()
+		}
+		if !ok {
+			err := p.shutdownErrLocked()
+			p.mu.Unlock()
+			return Result{Err: err}
+		}
+		p.mu.Unlock()
+	}
+	var res Result
+	if p.m != nil {
+		at := p.eng.NowCheap()
+		res = p.exec(cmd)
+		now := p.eng.NowCheap()
+		p.m.observeStage(cmd.Op, stageQueue, 0)
+		p.m.observeStage(cmd.Op, stageExec, now-at)
+		p.m.observeStage(cmd.Op, stageTotal, now-at)
+	} else {
+		res = p.exec(cmd)
+	}
+	p.release(1)
+	return res
+}
+
+// inlineDone retires one inline execution and, during shutdown, wakes a
+// Close/Join parked on the drain.
+func (p *Pipeline) inlineDone() {
+	if p.inline.Add(-1) == 0 && p.closingA.Load() {
+		p.mu.Lock()
+		p.inlineIdle.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// drainInline parks until no RunDirect execution is in flight. Runs after
+// shutdown broadcast (closingA set), which arms inlineDone's wakeup.
+func (p *Pipeline) drainInline() {
+	p.mu.Lock()
+	for p.inline.Load() > 0 {
+		p.inlineIdle.Wait()
+	}
+	p.mu.Unlock()
 }
 
 // shardOf picks the coalescer shard for a write: the hash of the first
@@ -367,9 +468,61 @@ func (p *Pipeline) shutdownErrLocked() error {
 	return p.cfg.ClosedErr
 }
 
-// finish resolves a completed command's future and releases its occupancy.
+// reserveFast claims one occupancy slot with a CAS if the pipeline is below
+// Depth, recording the occupancy stats on success. Lock-free; callable with
+// or without p.mu held.
+func (p *Pipeline) reserveFast() bool {
+	depth := int64(p.cfg.Depth)
+	for {
+		c := p.occ.Load()
+		if c >= depth {
+			return false
+		}
+		if !p.occ.CompareAndSwap(c, c+1) {
+			continue
+		}
+		c++
+		p.submitted.Add(1)
+		for {
+			m := p.maxOcc.Load()
+			if c <= m || p.maxOcc.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		p.occSum.Add(c)
+		p.occSamples.Add(1)
+		p.m.setDepth(int(c))
+		return true
+	}
+}
+
+// reserveLocked claims one occupancy slot, parking the caller on queue space
+// while the pipeline is full. The bpWaiters registration brackets each claim
+// attempt AND the park that follows a failed one, which closes the race with
+// the lock-free release: a release that reads bpWaiters == 0 did so before
+// this waiter registered, so the waiter's own claim attempt — ordered after
+// its registration — observes the freed slot. Caller holds p.mu. ok is
+// false when the pipeline is closing.
+func (p *Pipeline) reserveLocked() (waited, ok bool) {
+	for {
+		if p.closing {
+			return waited, false
+		}
+		p.bpWaiters.Add(1)
+		if p.reserveFast() {
+			p.bpWaiters.Add(-1)
+			return waited, true
+		}
+		waited = true
+		p.notFull.Wait()
+		p.bpWaiters.Add(-1)
+	}
+}
+
+// completeAll resolves a drained batch's futures. Lock-free: each complete
+// is one atomic publish (plus a wakeup for waiters that actually parked).
 // Called with p.mu NOT held.
-func (p *Pipeline) finishAll(tasks []task, results []Result) {
+func (p *Pipeline) completeAll(tasks []task, results []Result) {
 	if p.m != nil {
 		now := p.eng.NowCheap()
 		for _, t := range tasks {
@@ -379,12 +532,28 @@ func (p *Pipeline) finishAll(tasks []task, results []Result) {
 	for i, t := range tasks {
 		t.fut.complete(results[i])
 	}
-	p.mu.Lock()
-	p.occ -= len(tasks)
-	p.completed.Add(int64(len(tasks)))
-	p.m.setDepth(p.occ)
-	p.notFull.Broadcast()
-	p.mu.Unlock()
+}
+
+// release frees n occupancy slots and delivers the batch's queue-space
+// wakeup — one Signal when a single slot freed, one Broadcast otherwise —
+// instead of one broadcast per command. Entirely lock-free unless a
+// submitter is actually parked: bpWaiters registration precedes every claim
+// attempt and park, so a waiter this release fails to see is one whose own
+// claim attempt will see the freed slot. Called WITHOUT p.mu held.
+func (p *Pipeline) release(n int) {
+	now := p.occ.Add(-int64(n))
+	p.completed.Add(int64(n))
+	p.m.setDepth(int(now))
+	p.m.noteCompletionBatch()
+	if p.bpWaiters.Load() > 0 {
+		p.mu.Lock()
+		if n == 1 {
+			p.notFull.Signal()
+		} else {
+			p.notFull.Broadcast()
+		}
+		p.mu.Unlock()
+	}
 }
 
 // workerLoop executes direct (non-coalesced) commands until shutdown.
@@ -410,11 +579,16 @@ func (p *Pipeline) workerLoop() {
 			start := p.eng.NowCheap()
 			p.m.observeStage(t.cmd.Op, stageQueue, start-t.at)
 			res = p.exec(t.cmd)
-			p.m.observeStage(t.cmd.Op, stageExec, p.eng.NowCheap()-start)
+			now := p.eng.NowCheap()
+			p.m.observeStage(t.cmd.Op, stageExec, now-start)
+			p.m.observeStage(t.cmd.Op, stageTotal, now-t.at)
 		} else {
 			res = p.exec(t.cmd)
 		}
-		p.finishAll([]task{t}, []Result{res})
+		t.fut.complete(res)
+		// The occupancy release is lock-free; only the next dequeue needs
+		// the pipeline lock back.
+		p.release(1)
 		p.mu.Lock()
 	}
 }
@@ -447,7 +621,7 @@ func (p *Pipeline) coalescerLocked(shard int) *coalescer {
 // addLocked queues a write on the shard. Caller holds p.mu.
 func (c *coalescer) addLocked(t task) {
 	if len(c.pend) == 0 {
-		c.born = c.p.eng.Now()
+		c.born = c.p.eng.NowCheap()
 	}
 	c.pend = append(c.pend, t)
 	c.cv.Signal()
@@ -482,12 +656,12 @@ func (c *coalescer) loop() {
 			deadline := c.born + p.cfg.CoalesceWindow
 			graced := false
 			for c.records() < p.cfg.MaxBatchRecords && !p.closing {
-				now := p.eng.Now()
+				now := p.eng.NowCheap()
 				if now >= deadline {
 					break
 				}
 				wait := deadline - now
-				if p.occ == len(c.pend) {
+				if p.occ.Load() == int64(len(c.pend)) {
 					// Every outstanding command is already pending on this
 					// shard: no in-flight command elsewhere can complete and
 					// feed another write into this batch, so holding the full
@@ -560,7 +734,10 @@ func (c *coalescer) loop() {
 				results[i] = res
 			}
 		}
-		p.finishAll(tasks, results)
+		p.completeAll(tasks, results)
+		// One occupancy release and one queue-space wakeup for the whole
+		// batch, before the loop takes the pipeline lock back.
+		p.release(len(tasks))
 		p.mu.Lock()
 	}
 }
@@ -618,7 +795,7 @@ func (c *coalescer) cutLocked() ([]Record, []task) {
 	tasks := append([]task(nil), c.pend[:take]...)
 	c.pend = c.pend[take:]
 	if len(c.pend) > 0 {
-		c.born = c.p.eng.Now() // restart the window for the remainder
+		c.born = c.p.eng.NowCheap() // restart the window for the remainder
 	}
 	return batch, tasks
 }
@@ -630,6 +807,7 @@ func (c *coalescer) cutLocked() ([]Record, []task) {
 func (p *Pipeline) Close() {
 	p.broadcastShutdown(nil)
 	p.wg.Wait()
+	p.drainInline()
 }
 
 // Fail poisons the pipeline: queued and future commands complete with err
@@ -645,6 +823,7 @@ func (p *Pipeline) broadcastShutdown(poison error) {
 		p.poison = poison
 	}
 	p.closing = true
+	p.closingA.Store(true)
 	p.work.Broadcast()
 	p.notFull.Broadcast()
 	for _, c := range p.coList {
@@ -654,8 +833,11 @@ func (p *Pipeline) broadcastShutdown(poison error) {
 }
 
 // Join blocks until every pipeline actor has exited (they drain on Close,
-// bail out on Fail).
-func (p *Pipeline) Join() { p.wg.Wait() }
+// bail out on Fail) and every inline RunDirect execution has returned.
+func (p *Pipeline) Join() {
+	p.wg.Wait()
+	p.drainInline()
+}
 
 // Stats returns a snapshot of pipeline counters. Lock-free, so it is safe
 // to call from outside the simulation (final reports after the engine has

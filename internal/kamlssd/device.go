@@ -25,9 +25,10 @@
 //	                  namespace lookup, flusher/GC index installs (which
 //	                  must see a frozen snapshot family). Writers: create/
 //	                  delete/snapshot namespace, legacy Crash.
-//	ns.mu  (RWMutex)  one per namespace: the mapping table, round-robin
-//	                  cursor, swap state. Get takes the read lock; Put, GC
-//	                  installs, and recovery take the write lock.
+//	ns.mu  (RWMutex)  one per namespace: index identity (which table is
+//	                  mounted), round-robin cursor, swap state. Put, GC
+//	                  installs, and recovery take the write lock; Get does
+//	                  NOT take it — see "The read contract" below.
 //	lg.mu  (Mutex)    one per log: packer, pending records, sealed queue,
 //	                  append points, free lists, per-block valid-byte
 //	                  accounting. spaceCv (queue backpressure) rides on it.
@@ -42,6 +43,26 @@
 // are atomics. No actor holds ns.mu while waiting for queue space or free
 // blocks — that is what lets the flusher take ns.mu to install flash
 // locations while a Put is blocked on backpressure.
+//
+// # The read contract
+//
+// Get's index lookup acquires no lock. Each namespace publishes a
+// lock-free read handle (namespace.reader, an atomic pointer to the
+// seqlock table in internal/hashindex); execGet probes it directly and
+// the per-slot sequence counters make racing mutations safe — a reader
+// can never observe a torn key/value pair, only a fully published state
+// from before or after the racing write. ns.mu therefore no longer
+// serializes reads against writes on the table's CONTENT; it still
+// serializes everything about the table's IDENTITY (mount, swap-out,
+// reload, restore all go through namespace.setIndex under the write
+// lock) and still orders mutators against each other, which the
+// valid-byte accounting depends on. Tree-indexed and swapped-out
+// namespaces publish a nil handle, and those Gets fall back to
+// ns.mu.RLock exactly as before. One obligation follows: every index
+// mutation MUST go through the mounted table in place (never
+// copy-and-replace) so the handle a reader loaded stays current; the
+// only identity swaps are swap-out/reload/restore, whose flash I/O
+// cannot complete while any same-instant reader is still probing.
 package kamlssd
 
 import (
@@ -53,6 +74,7 @@ import (
 
 	"github.com/kaml-ssd/kaml/internal/cmdq"
 	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/hashindex"
 	"github.com/kaml-ssd/kaml/internal/nvme"
 	"github.com/kaml-ssd/kaml/internal/record"
 	"github.com/kaml-ssd/kaml/internal/sim"
@@ -198,7 +220,11 @@ type Stats struct {
 	// IndexProbes counts mapping-table slots scanned. Put's supersede path
 	// is a single upsert (one probe sequence per record, not a Get+Put
 	// pair), so updates charge the same probes as lookups.
-	IndexProbes       int64
+	IndexProbes int64
+	// IndexReadRetries counts seqlock re-reads and epoch restarts on the
+	// lock-free Get path — a direct measure of read/write collision on the
+	// mapping tables (zero under a read-only load).
+	IndexReadRetries  int64
 	BytesWritten      int64 // host payload bytes accepted
 	FlashBytesWritten int64 // pages programmed x page size (write amp)
 
@@ -228,10 +254,11 @@ type Stats struct {
 type namespace struct {
 	id uint32
 
-	// mu guards index, rr, and the swap state below. Get takes the read
-	// lock (lookups on different namespaces — and concurrent lookups on the
-	// same one — run in parallel); Put, installs, GC swings, and recovery
-	// take the write lock.
+	// mu guards index identity, rr, and the swap state below. Put,
+	// installs, GC swings, and recovery take the write lock. Get does NOT
+	// take it: reads go through the lock-free handle in reader (below) and
+	// fall back to the read lock only for tree indexes and swapped-out
+	// tables.
 	mu *sim.RWMutex
 
 	index   nsIndex
@@ -257,6 +284,38 @@ type namespace struct {
 	// a clone never captures a half-staged batch (batch atomicity would
 	// otherwise leak into the snapshot's point-in-time view).
 	pendingBatches atomic.Int64
+
+	// reader is the lock-free read handle: the seqlock table backing index,
+	// or nil when the index is swapped out, still loading, or a tree (those
+	// Gets fall back to ns.mu.RLock). Published by setIndex under ns.mu (or
+	// before the namespace is visible); loaded by execGet with no lock.
+	// Mutators write the table in place, so a handle loaded just before a
+	// mutation still observes every completed write — the seqlock makes the
+	// race itself safe, and any state change that could make the handle
+	// stale (swap-out, reload, delete) involves flash I/O, which cannot
+	// complete while a reader is mid-probe on the shared virtual clock.
+	reader atomic.Pointer[hashindex.ConcurrentTable]
+
+	// onIndexRetry feeds seqlock read-retry counts into the device's stats
+	// and telemetry; set once by newNamespace, attached to each table by
+	// setIndex before the table is published.
+	onIndexRetry func(int64)
+}
+
+// setIndex installs idx as the namespace's mapping table and publishes (or
+// clears) the lock-free read handle. Call with ns.mu write-held, or before
+// the namespace is reachable.
+func (ns *namespace) setIndex(idx nsIndex) {
+	ns.index = idx
+	if idx == nil {
+		ns.reader.Store(nil)
+		return
+	}
+	rt := lockFreeReader(idx)
+	if rt != nil && ns.onIndexRetry != nil {
+		rt.OnRetry(ns.onIndexRetry)
+	}
+	ns.reader.Store(rt)
 }
 
 // New builds a KAML device on the array and transport and starts its
@@ -299,7 +358,12 @@ func (d *Device) initLocks() {
 // newNamespace allocates the in-DRAM shell of a namespace, including its
 // index lock.
 func (d *Device) newNamespace(id uint32) *namespace {
-	return &namespace{id: id, mu: d.eng.NewRWMutex(fmt.Sprintf("kaml-ns%d", id))}
+	ns := &namespace{id: id, mu: d.eng.NewRWMutex(fmt.Sprintf("kaml-ns%d", id))}
+	ns.onIndexRetry = func(n int64) {
+		addStat(&d.stats.IndexReadRetries, n)
+		d.met.addIndexReadRetries(n)
+	}
+	return ns
 }
 
 // startActors launches the command pipeline, one flusher per log, and the
@@ -405,6 +469,7 @@ func (d *Device) Stats() Stats {
 		GCCopies:           atomic.LoadInt64(&s.GCCopies),
 		GCErases:           atomic.LoadInt64(&s.GCErases),
 		IndexProbes:        atomic.LoadInt64(&s.IndexProbes),
+		IndexReadRetries:   atomic.LoadInt64(&s.IndexReadRetries),
 		BytesWritten:       atomic.LoadInt64(&s.BytesWritten),
 		FlashBytesWritten:  atomic.LoadInt64(&s.FlashBytesWritten),
 		ProgramRetries:     atomic.LoadInt64(&s.ProgramRetries),
@@ -513,7 +578,7 @@ func (d *Device) CreateNamespace(attrs NamespaceAttrs) (uint32, error) {
 		d.nv.nextNSID++
 		d.nvMu.Unlock()
 		ns := d.newNamespace(id)
-		ns.index = newIndex(attrs.Index, capacity, d.cfg.AutoGrowIndex)
+		ns.setIndex(newIndex(attrs.Index, capacity, d.cfg.AutoGrowIndex))
 		ns.cutoff = noCutoff
 		nLogs := attrs.NumLogs
 		if nLogs <= 0 || nLogs > len(d.logs) {

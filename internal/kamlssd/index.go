@@ -45,10 +45,18 @@ func newIndex(kind IndexKind, capacity int, autoGrow bool) nsIndex {
 	case IndexTree:
 		return &treeIndex{t: btree.New()}
 	default:
-		t := hashindex.New(capacity)
-		t.AutoGrow = autoGrow
-		return &hashIdx{t: t}
+		return &hashIdx{t: hashindex.NewConcurrent(capacity, autoGrow)}
 	}
+}
+
+// lockFreeReader returns the seqlock table backing idx when it supports
+// lock-free Gets, or nil (tree indexes, nil index). The read path publishes
+// this through namespace.reader so execGet can probe without ns.mu.
+func lockFreeReader(idx nsIndex) *hashindex.ConcurrentTable {
+	if h, ok := idx.(*hashIdx); ok {
+		return h.t
+	}
+	return nil
 }
 
 // deserializeIndex rebuilds a table from Serialize output.
@@ -70,22 +78,28 @@ func deserializeIndex(kind IndexKind, blob []byte, capacity int, autoGrow bool) 
 		if err != nil {
 			return nil, err
 		}
-		if tbl.Capacity() < capacity {
-			rebuilt := hashindex.New(capacity)
-			tbl.Range(func(k, v uint64) bool {
-				_, _, perr := rebuilt.Put(k, v)
-				return perr == nil
-			})
-			tbl = rebuilt
+		if tbl.Capacity() > capacity {
+			capacity = tbl.Capacity()
 		}
-		tbl.AutoGrow = autoGrow
-		return &hashIdx{t: tbl}, nil
+		ct := hashindex.NewConcurrent(capacity, autoGrow)
+		var perr error
+		tbl.Range(func(k, v uint64) bool {
+			_, _, perr = ct.Put(k, v)
+			return perr == nil
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		return &hashIdx{t: ct}, nil
 	}
 }
 
-// hashIdx adapts hashindex.Table to nsIndex.
+// hashIdx adapts hashindex.ConcurrentTable to nsIndex. Mutations are
+// additionally serialized by ns.mu (the table's stripe locks alone would
+// admit interleavings the firmware's valid-byte accounting can't tolerate);
+// Gets go straight to the seqlock table with no lock at all.
 type hashIdx struct {
-	t *hashindex.Table
+	t *hashindex.ConcurrentTable
 }
 
 func (h *hashIdx) Get(key uint64) (uint64, int, error)    { return h.t.Get(key) }

@@ -238,7 +238,7 @@ func (d *Device) flusherLoop(lg *logState) {
 				lg.mu.Unlock()
 				return // closed and fully drained
 			}
-			if d.closed.Load() || d.eng.Now()-lg.packerBorn >= d.cfg.FlushPoll {
+			if d.closed.Load() || d.eng.NowCheap()-lg.packerBorn >= d.cfg.FlushPoll {
 				lg.sealPacker()
 			} else {
 				// Partially-filled page: give the batching timer its window.

@@ -23,6 +23,7 @@ import (
 type devMetrics struct {
 	nvramStaged  *telemetry.Gauge     // values resident in battery-backed NVRAM
 	indexEntries *telemetry.Gauge     // live mapping-table entries, all namespaces
+	indexRetries *telemetry.Counter   // seqlock read retries on the lock-free Get path
 	flashInstall *telemetry.Histogram // NVRAM stage -> flash index swing, per record
 	gcPause      *telemetry.Histogram // one victim collection, scan to erase
 
@@ -41,6 +42,7 @@ func newDevMetrics(r *telemetry.Registry, numLogs int) *devMetrics {
 	}
 	r.Help("kaml_ssd_nvram_staged_values", "Values staged in battery-backed NVRAM awaiting flash install.")
 	r.Help("kaml_ssd_index_entries", "Live mapping-table entries across all namespaces.")
+	r.Help("kaml_ssd_index_read_retries_total", "Seqlock re-reads and epoch restarts on the lock-free index read path.")
 	r.Help("kaml_ssd_flash_install_seconds", "Per-record latency from NVRAM staging to the flash index swing (virtual time).")
 	r.Help("kaml_gc_pause_seconds", "Duration of one GC victim collection (virtual time).")
 	r.Help("kaml_gc_copied_bytes_total", "Valid bytes relocated out of GC victim blocks, per log.")
@@ -50,6 +52,7 @@ func newDevMetrics(r *telemetry.Registry, numLogs int) *devMetrics {
 	m := &devMetrics{
 		nvramStaged:   r.Gauge("kaml_ssd_nvram_staged_values"),
 		indexEntries:  r.Gauge("kaml_ssd_index_entries"),
+		indexRetries:  r.Counter("kaml_ssd_index_read_retries_total"),
 		flashInstall:  r.Histogram("kaml_ssd_flash_install_seconds", telemetry.UnitSeconds),
 		gcPause:       r.Histogram("kaml_gc_pause_seconds", telemetry.UnitSeconds),
 		gcCopiedBytes: make([]*telemetry.Counter, numLogs),
@@ -72,6 +75,13 @@ func (m *devMetrics) setNVRAMStaged(n int) {
 		return
 	}
 	m.nvramStaged.Set(int64(n))
+}
+
+func (m *devMetrics) addIndexReadRetries(n int64) {
+	if m == nil {
+		return
+	}
+	m.indexRetries.Add(n)
 }
 
 func (m *devMetrics) addIndexEntries(delta int) {

@@ -3,6 +3,7 @@ package kamlssd
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/kaml-ssd/kaml/internal/flash"
 )
@@ -65,6 +66,13 @@ type NVRAM struct {
 	nextNSID  uint32
 	nvSeq     uint64
 	nextBatch uint64
+
+	// staged mirrors len(values) atomically so the read path can answer
+	// "is anything staged at all?" without taking nvMu: zero means every
+	// valueState probe would miss, which is exactly the hot case of a
+	// read-mostly workload (all values flushed to flash). Every site that
+	// inserts into or deletes from the values map must keep it in step.
+	staged atomic.Int64
 
 	values  map[uint64]*nvEntry // staged values by sequence
 	batches map[uint64]*nvBatch
@@ -133,6 +141,7 @@ func (nv *NVRAM) stage(ns uint32, key uint64, val []byte, batch uint64) uint64 {
 	nv.nvSeq++
 	seq := nv.nvSeq
 	nv.values[seq] = &nvEntry{ns: ns, key: key, val: getStaging(val), batch: batch}
+	nv.staged.Add(1)
 	b := nv.batches[batch]
 	b.seqs = append(b.seqs, seq)
 	b.remaining++
@@ -150,6 +159,7 @@ func (nv *NVRAM) commitBatch(batch uint64) {
 	for _, seq := range b.seqs {
 		if e := nv.values[seq]; e != nil && e.installed {
 			delete(nv.values, seq)
+			nv.staged.Add(-1)
 			putStaging(e.val)
 			b.remaining--
 		}
@@ -170,6 +180,7 @@ func (nv *NVRAM) abortBatch(batch uint64) {
 	for _, seq := range b.seqs {
 		if e := nv.values[seq]; e != nil {
 			delete(nv.values, seq)
+			nv.staged.Add(-1)
 			putStaging(e.val)
 		}
 		nv.aborted[seq] = struct{}{}
@@ -191,6 +202,7 @@ func (nv *NVRAM) installed(seq uint64) {
 		return
 	}
 	delete(nv.values, seq)
+	nv.staged.Add(-1)
 	putStaging(e.val)
 	if b != nil {
 		b.remaining--
@@ -253,6 +265,7 @@ func (nv *NVRAM) dropUncommitted() int {
 		for _, seq := range b.seqs {
 			if e, ok := nv.values[seq]; ok {
 				delete(nv.values, seq)
+				nv.staged.Add(-1)
 				putStaging(e.val)
 				dropped++
 			}
@@ -272,6 +285,7 @@ func (nv *NVRAM) finish(seq uint64) {
 		return
 	}
 	delete(nv.values, seq)
+	nv.staged.Add(-1)
 	putStaging(e.val)
 	if b := nv.batches[e.batch]; b != nil {
 		b.remaining--
@@ -280,6 +294,13 @@ func (nv *NVRAM) finish(seq uint64) {
 		}
 	}
 }
+
+// hasStaged reports, without any lock, whether any value is staged. False
+// is definitive — the values map is empty, so any valueState probe would
+// miss; readers use this to skip nvMu entirely on flushed working sets. A
+// true result says nothing about a particular sequence and callers must
+// still probe under nvMu.
+func (nv *NVRAM) hasStaged() bool { return nv.staged.Load() != 0 }
 
 // pendingSeqs returns the staged sequence numbers in ascending order.
 func (nv *NVRAM) pendingSeqs() []uint64 {

@@ -70,7 +70,7 @@ func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*D
 			nLogs = len(d.logs)
 		}
 		ns := d.newNamespace(m.id)
-		ns.index = newIndex(m.kind, m.capacity, cfg.AutoGrowIndex)
+		ns.setIndex(newIndex(m.kind, m.capacity, cfg.AutoGrowIndex))
 		ns.origin = m.origin
 		ns.readonly = m.readonly
 		ns.cutoff = m.cutoff

@@ -99,7 +99,7 @@ func (d *Device) execSnapshot(nsID uint32) (uint32, error) {
 		d.nvMu.Unlock()
 
 		snap := d.newNamespace(snapID)
-		snap.index = src.index.Clone()
+		snap.setIndex(src.index.Clone())
 		d.met.addIndexEntries(snap.index.Len())
 		snap.logIDs = append([]int(nil), src.logIDs...)
 		snap.origin = familyRoot(src)

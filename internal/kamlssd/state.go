@@ -110,7 +110,7 @@ func (d *Device) SwapOutIndex(nsID uint32) error {
 	}
 	ns.swapPages = pages
 	ns.swapped = true
-	ns.index = nil
+	ns.setIndex(nil)
 	ns.mu.Unlock()
 	chunksPerPage := d.fc.PageSize / d.cfg.ChunkSize
 	for _, p := range pages {
@@ -177,7 +177,7 @@ func (d *Device) finishLoad(ns *namespace, pages []flash.PPN) (err error) {
 
 	ns.mu.Lock()
 	swapPages := ns.swapPages
-	ns.index = tbl
+	ns.setIndex(tbl)
 	ns.swapped = false
 	ns.loading = false
 	ns.swapPages = nil
@@ -359,7 +359,7 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 			if err != nil {
 				return nil, fmt.Errorf("kamlssd: restore ns %d: %w", snap.id, err)
 			}
-			ns.index = tbl
+			ns.setIndex(tbl)
 		}
 		d.namespaces[ns.id] = ns
 	}
@@ -394,6 +394,7 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 		for seq, v := range st.NVRAM {
 			in := info[seq]
 			d.nv.values[seq] = &nvEntry{ns: in.ns, key: in.key, val: getStaging(v), batch: d.nv.nextBatch}
+			d.nv.staged.Add(1)
 			b.seqs = append(b.seqs, seq)
 			b.remaining++
 		}

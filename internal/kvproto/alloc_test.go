@@ -1,0 +1,48 @@
+package kvproto
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// frameCodecAllocBudget bounds a full frame round trip (writeFrame +
+// readFrameReuse + recycleFrameBuf). The payload buffer comes from the
+// frameBufs pool, so steady state must not allocate per frame — the
+// budget covers only stack-escape noise from the bufio plumbing (2.0/op
+// measured), not a per-frame make. Before pooling, every inbound frame
+// cost one make([]byte, n).
+const frameCodecAllocBudget = 3
+
+// TestFrameCodecAllocBudget pins the framed protocol's per-frame
+// allocation count in steady state (DESIGN.md §13).
+func TestFrameCodecAllocBudget(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xa5}, 256)
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	r := bufio.NewReader(&buf)
+	roundTrip := func() {
+		buf.Reset()
+		r.Reset(&buf)
+		if err := writeFrame(w, 'G', 7, payload); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		kind, id, bufp, err := readFrameReuse(r)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if kind != 'G' || id != 7 || !bytes.Equal(*bufp, payload) {
+			t.Fatalf("round trip mismatch: kind=%c id=%d len=%d", kind, id, len(*bufp))
+		}
+		recycleFrameBuf(bufp)
+	}
+	roundTrip() // warm the payload pool
+	got := testing.AllocsPerRun(512, roundTrip)
+	if got > frameCodecAllocBudget {
+		t.Fatalf("frame round trip allocates %.1f/op, budget %d", got, frameCodecAllocBudget)
+	}
+	t.Logf("frame round trip: %.1f allocs/op (budget %d)", got, frameCodecAllocBudget)
+}

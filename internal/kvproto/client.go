@@ -183,23 +183,38 @@ func (c *Client) poison(err error) {
 	}
 }
 
-// start registers a request and writes its frame. The returned channel
-// receives exactly one rframe: the completion, or the poison verdict.
-func (c *Client) start(kind byte, payload []byte) (chan rframe, error) {
+// completionChans pools the capacity-1 channels requests ride on. Each
+// registered channel is sent to exactly once — the matched completion or
+// the poison verdict, never both (delivery requires removing the entry
+// from pending under c.mu) — so once await has received, the channel is
+// empty and reusable by the next request.
+var completionChans = sync.Pool{New: func() any { return make(chan rframe, 1) }}
+
+// register assigns a request ID and parks a completion channel for it.
+func (c *Client) register() (uint64, chan rframe, error) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return 0, nil, err
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan rframe, 1)
+	ch := completionChans.Get().(chan rframe)
 	c.pending[id] = ch
 	c.mu.Unlock()
+	return id, ch, nil
+}
 
+// start registers a request and writes its frame. The returned channel
+// receives exactly one rframe: the completion, or the poison verdict.
+func (c *Client) start(kind byte, payload []byte) (chan rframe, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
 	c.wmu.Lock()
-	err := writeFrame(c.w, kind, id, payload)
+	err = writeFrame(c.w, kind, id, payload)
 	if err == nil {
 		err = c.w.Flush()
 	}
@@ -213,9 +228,42 @@ func (c *Client) start(kind byte, payload []byte) (chan rframe, error) {
 	return ch, nil
 }
 
-// await turns a completion into (payload, error).
+// startNSKey registers a request and writes a (namespace, key[, value])
+// frame, composing the header and preamble on the stack straight into the
+// connection's buffered writer — the hot Get/Put ops allocate nothing for
+// framing.
+func (c *Client) startNSKey(kind byte, ns uint32, key uint64, val []byte) (chan rframe, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	c.wmu.Lock()
+	var hdr [25]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(1+8+12+len(val)))
+	hdr[4] = kind
+	binary.BigEndian.PutUint64(hdr[5:13], id)
+	binary.BigEndian.PutUint32(hdr[13:17], ns)
+	binary.BigEndian.PutUint64(hdr[17:25], key)
+	_, err = c.w.Write(hdr[:])
+	if err == nil && len(val) > 0 {
+		_, err = c.w.Write(val)
+	}
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.poison(err)
+		return nil, err
+	}
+	return ch, nil
+}
+
+// await turns a completion into (payload, error) and recycles the channel
+// (the single delivery has been consumed, so it is clean for the pool).
 func await(ch chan rframe) ([]byte, error) {
 	f := <-ch
+	completionChans.Put(ch)
 	if f.err != nil {
 		return nil, f.err
 	}
@@ -254,39 +302,47 @@ func (c *Client) Err() error {
 	return c.err
 }
 
-func nsKeyPayload(ns uint32, key uint64, val []byte) []byte {
-	p := make([]byte, 12+len(val))
-	binary.BigEndian.PutUint32(p[0:4], ns)
-	binary.BigEndian.PutUint64(p[4:12], key)
-	copy(p[12:], val)
-	return p
-}
-
 func u32Payload(v uint32) []byte {
 	var p [4]byte
 	binary.BigEndian.PutUint32(p[:], v)
 	return p[:]
 }
 
-// GetFuture is an in-flight Get.
+// errFutureDone reports a second Wait on a kvproto future (the channel has
+// already been consumed and recycled).
+var errFutureDone = errors.New("kvproto: future already waited")
+
+// GetFuture is an in-flight Get. Wait at most once.
 type GetFuture struct{ ch chan rframe }
 
 // Wait blocks until the completion (or poison) arrives.
-func (f *GetFuture) Wait() ([]byte, error) { return await(f.ch) }
+func (f *GetFuture) Wait() ([]byte, error) {
+	ch := f.ch
+	if ch == nil {
+		return nil, errFutureDone
+	}
+	f.ch = nil
+	return await(ch)
+}
 
-// PutFuture is an in-flight Put.
+// PutFuture is an in-flight Put. Wait at most once.
 type PutFuture struct{ ch chan rframe }
 
 // Wait blocks until the completion (or poison) arrives.
 func (f *PutFuture) Wait() error {
-	_, err := await(f.ch)
+	ch := f.ch
+	if ch == nil {
+		return errFutureDone
+	}
+	f.ch = nil
+	_, err := await(ch)
 	return err
 }
 
 // GetAsync submits a Get without waiting; completions may be awaited in
 // any order.
 func (c *Client) GetAsync(ns uint32, key uint64) (*GetFuture, error) {
-	ch, err := c.start(reqGet, nsKeyPayload(ns, key, nil))
+	ch, err := c.startNSKey(reqGet, ns, key, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +354,7 @@ func (c *Client) PutAsync(ns uint32, key uint64, val []byte) (*PutFuture, error)
 	if len(val) > MaxValueLen {
 		return nil, fmt.Errorf("kvproto: value too large (%d bytes)", len(val))
 	}
-	ch, err := c.start(reqPut, nsKeyPayload(ns, key, val))
+	ch, err := c.startNSKey(reqPut, ns, key, val)
 	if err != nil {
 		return nil, err
 	}

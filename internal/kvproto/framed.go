@@ -69,6 +69,53 @@ const (
 	maxWriterQueue = 4096
 )
 
+// frameBufs pools request-payload buffers so a framed connection's steady
+// state reads every frame into recycled memory instead of allocating per
+// frame. Buffers whose capacity grew past pooledBufCap are left to the GC —
+// one oversized value must not pin a huge buffer in the pool forever.
+var frameBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+const pooledBufCap = 64 << 10
+
+// readFrameReuse reads one frame into a pooled payload buffer. The caller
+// owns *bufp (payload aliases its backing array) until it calls
+// recycleFrameBuf; bufp is nil on error.
+func readFrameReuse(r *bufio.Reader) (kind byte, id uint64, bufp *[]byte, err error) {
+	var hdr [13]byte
+	if _, err = io.ReadFull(r, hdr[:4]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n < 9 || n > maxFrame {
+		err = fmt.Errorf("kvproto: bad frame length %d", n)
+		return
+	}
+	if _, err = io.ReadFull(r, hdr[4:13]); err != nil {
+		return
+	}
+	kind = hdr[4]
+	id = binary.BigEndian.Uint64(hdr[5:13])
+	bufp = frameBufs.Get().(*[]byte)
+	if need := int(n - 9); cap(*bufp) < need {
+		*bufp = make([]byte, need)
+	} else {
+		*bufp = (*bufp)[:need]
+	}
+	if _, err = io.ReadFull(r, *bufp); err != nil {
+		recycleFrameBuf(bufp)
+		bufp = nil
+	}
+	return
+}
+
+// recycleFrameBuf returns a request buffer to the pool.
+func recycleFrameBuf(bufp *[]byte) {
+	if cap(*bufp) > pooledBufCap {
+		return
+	}
+	frameBufs.Put(bufp)
+}
+
 // writeFrame emits one frame; the caller flushes.
 func writeFrame(w *bufio.Writer, kind byte, id uint64, payload []byte) error {
 	var hdr [13]byte
@@ -171,6 +218,12 @@ func serveFramed(b framedBackend, conn net.Conn, r *bufio.Reader, w *bufio.Write
 	go func() {
 		defer close(writerDone)
 		broken := false
+		// spare is the drained batch's backing array, handed back to respQ
+		// at the next swap: the two arrays ping-pong, so the steady state
+		// appends completions into recycled memory instead of regrowing a
+		// fresh slice per batch. Writer-local — only this goroutine touches
+		// it.
+		var spare []resp
 		for {
 			respMu.Lock()
 			for len(respQ) == 0 && !respEOF {
@@ -181,22 +234,25 @@ func serveFramed(b framedBackend, conn net.Conn, r *bufio.Reader, w *bufio.Write
 				return
 			}
 			batch := respQ
-			respQ = nil
+			respQ = spare[:0]
 			respCond.Broadcast() // a reader may be parked on the bound
 			respMu.Unlock()
 			writerQG.Add(int64(-len(batch)))
-			if broken {
-				continue // keep draining; completions are just discarded
-			}
-			for _, rp := range batch {
-				if err := writeFrame(w, rp.status, rp.id, rp.payload); err != nil {
-					broken = true
-					conn.Close() // kick the reader loose
-					break
+			if !broken {
+				for _, rp := range batch {
+					if err := writeFrame(w, rp.status, rp.id, rp.payload); err != nil {
+						broken = true
+						conn.Close() // kick the reader loose
+						break
+					}
 				}
 			}
+			for i := range batch {
+				batch[i] = resp{} // drop payload references before reuse
+			}
+			spare = batch[:0]
 			if broken {
-				continue
+				continue // keep draining; completions are just discarded
 			}
 			// Flush only when no completion queued up behind us meanwhile:
 			// adjacent completions share one syscall, the pipelining win.
@@ -212,7 +268,7 @@ func serveFramed(b framedBackend, conn net.Conn, r *bufio.Reader, w *bufio.Write
 		}
 	}()
 	for {
-		kind, id, payload, err := readFrame(r)
+		kind, id, bufp, err := readFrameReuse(r)
 		if err != nil {
 			break
 		}
@@ -227,7 +283,11 @@ func serveFramed(b framedBackend, conn net.Conn, r *bufio.Reader, w *bufio.Write
 		inFlightG.Add(1)
 		b.goExec(func() {
 			defer outstanding.Done()
-			status, pl := b.exec(kind, payload)
+			status, pl := b.exec(kind, *bufp)
+			// The request buffer is dead once exec returns: Put copies its
+			// records into NVRAM staging before acknowledging, and no exec
+			// path returns a response that aliases its request.
+			recycleFrameBuf(bufp)
 			respMu.Lock()
 			respQ = append(respQ, resp{status, id, pl})
 			respMu.Unlock()

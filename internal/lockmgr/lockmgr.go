@@ -139,7 +139,7 @@ func (m *Manager) Acquire(t *Txn, table uint32, key uint64, mode Mode) error {
 		// Shared -> Exclusive upgrade handled by the conflict loop below.
 	}
 
-	start := m.eng.Now()
+	start := m.eng.NowCheap()
 	registered := false
 	defer func() {
 		if registered {
@@ -150,7 +150,7 @@ func (m *Manager) Acquire(t *Txn, table uint32, key uint64, mode Mode) error {
 		}
 	}()
 	for {
-		if m.eng.Now()-start > starvationLimit {
+		if m.eng.NowCheap()-start > starvationLimit {
 			state := ""
 			if ls := m.locks[id]; ls != nil {
 				for ts, hm := range ls.holders {

@@ -73,15 +73,19 @@ func (c *Controller) Config() Config { return c.cfg }
 func (c *Controller) Engine() *sim.Engine { return c.eng }
 
 // Submission charges the host-side cost of issuing one command: host
-// software time, then a queue-pair slot held only for the submission
-// transfer. The slot bounds concurrent DMA into the device, not device-side
-// work — outstanding-command limits live in the firmware's command pipeline
-// (internal/cmdq), which is what lets QueueDepth transfers overlap hundreds
-// of microseconds of flash work.
+// software time plus the submission transfer, with a queue-pair slot held
+// across the combined segment. The slot bounds concurrent DMA into the
+// device, not device-side work — outstanding-command limits live in the
+// firmware's command pipeline (internal/cmdq), which is what lets QueueDepth
+// transfers overlap hundreds of microseconds of flash work.
+//
+// Charging the two costs as one timed segment keeps the hot path at a
+// single timer park per submission. The host-software time riding inside
+// the slot window widens each hold by HostSoftware (2µs at defaults),
+// which is observable only past QueueDepth concurrent submissions.
 func (c *Controller) Submission() {
-	c.eng.Sleep(c.cfg.HostSoftware)
 	c.queue.Acquire()
-	c.eng.Sleep(c.cfg.SubmissionLatency)
+	c.eng.Sleep(c.cfg.HostSoftware + c.cfg.SubmissionLatency)
 	c.queue.Release()
 }
 

@@ -111,7 +111,7 @@ func (e *Engine) Go(name string, fn func()) {
 		}
 		e.mu.Unlock()
 		go func() {
-			<-tok.ch
+			tok.park()
 			defer e.exit(name)
 			fn()
 		}()
@@ -171,7 +171,7 @@ func (e *Engine) Sleep(d time.Duration) {
 	heap.Push(&e.timers, &timer{when: e.now + d, seq: e.seq, tok: tok})
 	e.blockLocked(tok, "sleep")
 	e.mu.Unlock()
-	<-tok.ch
+	tok.park()
 }
 
 // blockLocked marks the calling actor as parked and, if it was the last
@@ -194,7 +194,7 @@ func (e *Engine) wakeLocked(tok *parkToken) {
 		return
 	}
 	e.runnable++
-	close(tok.ch)
+	tok.ch <- struct{}{}
 }
 
 // unblockLocked runs when no actor is runnable: in serialized mode it
@@ -223,7 +223,7 @@ func (e *Engine) dispatchLocked() {
 	e.ready[len(e.ready)-1] = nil
 	e.ready = e.ready[:len(e.ready)-1]
 	e.runnable++
-	close(tok.ch)
+	tok.ch <- struct{}{}
 }
 
 // advanceLocked pops every timer due at the earliest deadline and wakes its
@@ -307,12 +307,30 @@ func (e *Engine) stateLocked() string {
 	return b.String()
 }
 
-// parkToken is the rendezvous for one parked actor.
+// parkToken is the rendezvous for one parked actor. Tokens are pooled: a
+// wakeup is a buffered send (not a close), so a token and its channel are
+// reusable the moment the parked actor has received the wakeup and called
+// park. Every park would otherwise allocate a fresh channel — on the hot
+// path (each virtual sleep, each contended primitive) that is the single
+// largest allocation source in the whole simulator.
 type parkToken struct {
 	ch chan struct{}
 }
 
-func newParkToken() *parkToken { return &parkToken{ch: make(chan struct{})} }
+var parkTokenPool = sync.Pool{
+	New: func() any { return &parkToken{ch: make(chan struct{}, 1)} },
+}
+
+func newParkToken() *parkToken { return parkTokenPool.Get().(*parkToken) }
+
+// park blocks until the token's wakeup arrives, then recycles the token.
+// Callers must not touch tok afterwards. Each token receives exactly one
+// wakeup per park: every wake path (timer pop, mutex handoff, cond signal,
+// dispatch) removes the token from its wait structure before sending.
+func (tok *parkToken) park() {
+	<-tok.ch
+	parkTokenPool.Put(tok)
+}
 
 type timer struct {
 	when time.Duration

@@ -30,7 +30,7 @@ func (m *Mutex) Lock() {
 	m.waiters = append(m.waiters, tok)
 	e.blockLocked(tok, "mutex:"+m.name)
 	e.mu.Unlock()
-	<-tok.ch
+	tok.park()
 }
 
 // TryLock acquires the mutex if it is free and reports whether it did.
@@ -97,7 +97,7 @@ func (c *Cond) Wait() {
 	}
 	e.blockLocked(tok, "cond:"+c.L.name)
 	e.mu.Unlock()
-	<-tok.ch
+	tok.park()
 	c.L.Lock()
 }
 
@@ -154,7 +154,7 @@ func (s *Semaphore) Acquire() {
 	s.waiters = append(s.waiters, tok)
 	e.blockLocked(tok, "sem:"+s.name)
 	e.mu.Unlock()
-	<-tok.ch
+	tok.park()
 }
 
 // Release returns one permit, handing it directly to the oldest waiter.
@@ -206,7 +206,7 @@ func (m *RWMutex) RLock() {
 	m.readWaiters = append(m.readWaiters, tok)
 	e.blockLocked(tok, "rwmutex-r:"+m.name)
 	e.mu.Unlock()
-	<-tok.ch
+	tok.park()
 }
 
 // RUnlock releases a shared lock.
@@ -237,7 +237,7 @@ func (m *RWMutex) Lock() {
 	m.writeWaiters = append(m.writeWaiters, tok)
 	e.blockLocked(tok, "rwmutex-w:"+m.name)
 	e.mu.Unlock()
-	<-tok.ch
+	tok.park()
 }
 
 // Unlock releases the exclusive lock.
@@ -314,5 +314,5 @@ func (w *WaitGroup) Wait() {
 	w.waiters = append(w.waiters, tok)
 	e.blockLocked(tok, "waitgroup")
 	e.mu.Unlock()
-	<-tok.ch
+	tok.park()
 }
