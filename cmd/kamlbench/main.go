@@ -12,7 +12,7 @@
 //	kamlbench -list            # list experiment IDs
 //
 // Experiment IDs: fig5 fig6 fig7 fig8 fig9 fig10 conflicts ablations qdsweep
-// getscale kamlcluster
+// sisweep getscale kamlcluster
 //
 // Each figure cell is an independent simulation on its own virtual clock,
 // so -parallel changes wall-clock time only: the tables are identical at
@@ -55,6 +55,7 @@ func catalog() []experiment {
 		{"conflicts", "locking-granularity conflict analysis (§V-D.2)", wrap1(experiments.Conflicts)},
 		{"ablations", "extra ablations: checkpoint interference, lock-granularity sweep, write amplification", experiments.Ablations},
 		{"qdsweep", "queue-depth sweep: pipelined Get/Put scaling and Put coalescing", wrap1(experiments.QDSweep)},
+		{"sisweep", "isolation sweep: SS2PL vs snapshot isolation, hot-key RMW abort rate and reader coexistence", experiments.SISweep},
 		{"getscale", "concurrent Get scaling: wall-clock gets/s and allocs per Get vs reader count", wrap1(experiments.GetScale)},
 		{"kamlcluster", "sharded replicated cluster: per-shard Get SLO with hedged reads, live migration, forced failover", wrap1(experiments.KamlCluster)},
 	}

@@ -16,6 +16,17 @@
 // Self-test — prove the checker catches an injected atomicity bug:
 //
 //	go run ./cmd/kamlcheck -bug -seeds 30 -ops 250
+//
+// Snapshot-isolation mode — hot-key RMW transaction workloads under
+// Cache.BeginSI, checked against the SI axioms (lost update, fractured
+// read, dirty read, unrepeatable read; write-skew is legal):
+//
+//	go run ./cmd/kamlcheck -si -seeds 25 -ops 400
+//
+// SI self-test — disable first-committer-wins validation and prove the
+// checker catches the resulting lost update:
+//
+//	go run ./cmd/kamlcheck -si -bug -seeds 40 -ops 400
 package main
 
 import (
@@ -33,7 +44,8 @@ func main() {
 		base    = flag.Int64("base", 0, "first seed of the range")
 		ops     = flag.Int("ops", 2000, "approximate operations per scenario")
 		seed    = flag.Int64("seed", -1, "replay exactly one seed (disables exploration)")
-		bug     = flag.Bool("bug", false, "arm the firmware's test-only split-batch-commit defect (checker self-test)")
+		bug     = flag.Bool("bug", false, "arm a test-only defect: split-batch-commit, or with -si, validation-off lost updates (checker self-test)")
+		si      = flag.Bool("si", false, "snapshot-isolation mode: SI transaction workloads checked against the SI axioms")
 		shrink  = flag.Bool("shrink", true, "shrink a failing scenario to a minimal reproducer")
 		verbose = flag.Bool("v", false, "per-seed progress")
 		out     = flag.String("out", "", "on failure, write the failing seed and report to this file (CI artifact)")
@@ -41,25 +53,35 @@ func main() {
 	flag.Parse()
 
 	if *seed >= 0 {
-		os.Exit(replay(*seed, *ops, *bug, *out, *shrink))
+		os.Exit(replay(*seed, *ops, *bug, *si, *out, *shrink))
 	}
 
 	progress := func(string) {}
 	if *verbose {
 		progress = func(s string) { fmt.Println(s) }
 	}
-	fail := check.Explore(*base, *seeds, *ops, *bug, progress)
+	explore := check.Explore
+	kind := "scenarios"
+	if *si {
+		explore = check.ExploreSI
+		kind = "SI scenarios"
+	}
+	fail := explore(*base, *seeds, *ops, *bug, progress)
 	if fail == nil {
-		fmt.Printf("ok: %d scenarios (seeds %d..%d, ~%d ops each), no violations\n",
-			*seeds, *base, *base+int64(*seeds)-1, *ops)
+		fmt.Printf("ok: %d %s (seeds %d..%d, ~%d ops each), no violations\n",
+			*seeds, kind, *base, *base+int64(*seeds)-1, *ops)
 		return
 	}
-	report(fail, *ops, *bug, *out, *shrink)
+	report(fail, *ops, *bug, *si, *out, *shrink)
 	os.Exit(1)
 }
 
-func replay(seed int64, ops int, bug bool, out string, shrink bool) int {
-	sc := check.GenScenario(seed, ops, bug)
+func replay(seed int64, ops int, bug, si bool, out string, shrink bool) int {
+	gen := check.GenScenario
+	if si {
+		gen = check.GenSIScenario
+	}
+	sc := gen(seed, ops, bug)
 	res := check.Run(sc)
 	fmt.Printf("seed %d: %d events, history sha256=%x\n",
 		seed, len(res.Events), sha256.Sum256(res.History))
@@ -67,11 +89,11 @@ func replay(seed int64, ops int, bug bool, out string, shrink bool) int {
 		fmt.Println("ok: no violations")
 		return 0
 	}
-	report(&check.Failure{Scenario: sc, Result: res}, ops, bug, out, shrink)
+	report(&check.Failure{Scenario: sc, Result: res}, ops, bug, si, out, shrink)
 	return 1
 }
 
-func report(fail *check.Failure, ops int, bug bool, out string, shrink bool) {
+func report(fail *check.Failure, ops int, bug, si bool, out string, shrink bool) {
 	sc, res := fail.Scenario, fail.Result
 	fmt.Printf("\nVIOLATION at seed %d:\n%s", sc.Seed, check.FormatViolations(res.Violations))
 	if shrink {
@@ -81,13 +103,16 @@ func report(fail *check.Failure, ops int, bug bool, out string, shrink bool) {
 		fmt.Printf("\nminimal reproducer:\n%s%s", sc, check.FormatViolations(res.Violations))
 	}
 	repro := fmt.Sprintf("go run ./cmd/kamlcheck -seed %d -ops %d", sc.Seed, ops)
+	if si {
+		repro += " -si"
+	}
 	if bug {
 		repro += " -bug"
 	}
 	fmt.Printf("\nreproduce with: %s\n", repro)
 	if out != "" {
-		artifact := fmt.Sprintf("seed=%d ops=%d bug=%v\n\n%s\n%s\nreproduce with: %s\n",
-			sc.Seed, ops, bug, sc, check.FormatViolations(res.Violations), repro)
+		artifact := fmt.Sprintf("seed=%d ops=%d bug=%v si=%v\n\n%s\n%s\nreproduce with: %s\n",
+			sc.Seed, ops, bug, si, sc, check.FormatViolations(res.Violations), repro)
 		if err := os.WriteFile(out, []byte(artifact), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
 		} else {

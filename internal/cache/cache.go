@@ -22,6 +22,7 @@ import (
 	"github.com/kaml-ssd/kaml/internal/lockmgr"
 	"github.com/kaml-ssd/kaml/internal/sim"
 	"github.com/kaml-ssd/kaml/internal/storage"
+	"github.com/kaml-ssd/kaml/internal/telemetry"
 )
 
 // Config tunes the caching layer.
@@ -56,14 +57,25 @@ type Cache struct {
 	ts   uint64
 	tsMu *sim.Mutex
 
+	// siValidate gates first-committer-wins validation on SI writes; always
+	// true outside the model checker's lost-update self-test. Guarded by mu.
+	siValidate bool
+
 	stats Stats
+
+	// Telemetry instruments (nil when the device runs without telemetry).
+	siCommits, siAborts, siValFails *telemetry.Counter
 }
 
-// Stats counts cache activity.
+// Stats counts cache activity. Commits/Aborts cover both isolation levels;
+// the SI* fields break out the snapshot-isolation share, with
+// SIValidationFails counting first-committer-wins kills specifically.
 type Stats struct {
 	Hits, Misses          int64
 	Evictions             int64
 	Commits, Aborts, Dies int64
+
+	SICommits, SIAborts, SIValidationFails int64
 }
 
 type ckey struct {
@@ -92,16 +104,48 @@ func New(dev *kamlssd.Device, cfg Config) *Cache {
 	}
 	eng := dev.Engine()
 	c := &Cache{
-		dev:     dev,
-		eng:     eng,
-		cfg:     cfg,
-		entries: make(map[ckey]*entry),
-		lru:     list.New(),
-		lm:      lockmgr.New(eng, cfg.RecordsPerLock),
+		dev:        dev,
+		eng:        eng,
+		cfg:        cfg,
+		entries:    make(map[ckey]*entry),
+		lru:        list.New(),
+		lm:         lockmgr.New(eng, cfg.RecordsPerLock),
+		siValidate: true,
 	}
 	c.mu = eng.NewMutex("cache")
 	c.tsMu = eng.NewMutex("cache-ts")
+	if reg := dev.Telemetry(); reg != nil {
+		c.lm.Instrument(reg)
+		reg.Help("kaml_si_commits_total", "Snapshot-isolation transactions committed.")
+		reg.Help("kaml_si_aborts_total", "Snapshot-isolation transactions aborted (all causes).")
+		reg.Help("kaml_si_validation_failures_total", "SI writes killed by first-committer-wins validation.")
+		c.siCommits = reg.Counter("kaml_si_commits_total")
+		c.siAborts = reg.Counter("kaml_si_aborts_total")
+		c.siValFails = reg.Counter("kaml_si_validation_failures_total")
+	}
 	return c
+}
+
+// noteSICommit/noteSIAbort/noteSIValidationFail export SI outcomes to
+// telemetry (no-ops without a registry). noteSIAbort covers every SI abort
+// — wait-die, validation kill, and explicit Abort alike; validation
+// failures additionally count in noteSIValidationFail.
+func (c *Cache) noteSICommit() {
+	if c.siCommits != nil {
+		c.siCommits.Inc()
+	}
+}
+
+func (c *Cache) noteSIAbort() {
+	if c.siAborts != nil {
+		c.siAborts.Inc()
+	}
+}
+
+func (c *Cache) noteSIValidationFail() {
+	if c.siValFails != nil {
+		c.siValFails.Inc()
+	}
 }
 
 // Device returns the underlying KAML SSD.

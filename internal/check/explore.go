@@ -88,6 +88,16 @@ type Scenario struct {
 	// halves, so a cut — or a concurrently created snapshot — can observe a
 	// torn batch. The harness's self-test proves the checker catches it.
 	SplitCommitBug bool
+
+	// SIMode runs every transaction worker under snapshot isolation
+	// (Cache.BeginSI) and checks the history with CheckHistorySI instead of
+	// the serializability checker — write-skew is legal under SI, so the
+	// SS2PL checker would report false anomalies.
+	SIMode bool
+	// LostUpdateBug disables the cache's first-committer-wins validation
+	// (Cache.TestingDisableSIValidation), arming a real lost-update anomaly.
+	// The SI self-test proves CheckHistorySI catches it.
+	LostUpdateBug bool
 }
 
 // RunResult is the outcome of executing one scenario.
@@ -120,7 +130,11 @@ func Run(sc *Scenario) *RunResult {
 	})
 	eng.Wait()
 	res := &RunResult{Events: rec.Events(), History: rec.Serialize()}
-	res.Violations = CheckHistory(res.Events)
+	if sc.SIMode {
+		res.Violations = CheckHistorySI(res.Events)
+	} else {
+		res.Violations = CheckHistory(res.Events)
+	}
 	if harnessErr != nil {
 		res.Violations = append(res.Violations, Violation{
 			Kind: "harness", Detail: harnessErr.Error(),
@@ -206,6 +220,15 @@ func runScenario(sc *Scenario, eng *sim.Engine, rec *Recorder) error {
 		if table, err = cache.CreateTable("t", 256); err != nil {
 			return fmt.Errorf("create table: %w", err)
 		}
+		if sc.LostUpdateBug {
+			cache.TestingDisableSIValidation()
+		}
+	}
+	begin := func() *kaml.Txn {
+		if sc.SIMode {
+			return cache.BeginSI()
+		}
+		return cache.Begin()
 	}
 
 	// Per-actor unique tags: actor a's n-th write is tagged a<<32 | n, n
@@ -353,7 +376,7 @@ func runScenario(sc *Scenario, eng *sim.Engine, rec *Recorder) error {
 			if dead() {
 				return
 			}
-			t := cache.Begin()
+			t := begin()
 			var terr error
 			for _, o := range prog {
 				if o.Read {
@@ -655,6 +678,111 @@ func GenScenario(seed int64, ops int, bug bool) *Scenario {
 		}
 	}
 	return sc
+}
+
+// GenSIScenario derives a random-but-reproducible snapshot-isolation
+// scenario from seed: transaction workers only, biased hard toward hot-key
+// read-modify-write — the access pattern where SI's first-committer-wins
+// validation must fire. Sized to roughly ops transaction steps total. SI
+// scenarios are cut- and fault-free: the axioms concern concurrency, not
+// recovery, and the MVCC crash path has its own torture test. bug arms the
+// cache's validation-off defect, making lost updates real.
+func GenSIScenario(seed int64, ops int, bug bool) *Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &Scenario{
+		Seed:            seed,
+		Channels:        2,
+		ChipsPerChannel: 1 + rng.Intn(2),
+		BlocksPerChip:   16,
+		PagesPerBlock:   16,
+
+		NumLogs:          1 + rng.Intn(2),
+		QueueDepthPerLog: 1 + rng.Intn(2),
+		PipelineDepth:    8,
+		CoalesceWindow:   []time.Duration{0, 2 * time.Microsecond}[rng.Intn(2)],
+
+		NSCount:   1,
+		ValueSize: 16 + rng.Intn(32),
+		CutRound:  -1,
+		FaultSeed: seed,
+
+		Rounds:         1 + rng.Intn(2),
+		RecordsPerLock: 1 + rng.Intn(2)*3,
+		SIMode:         true,
+		LostUpdateBug:  bug,
+	}
+	if chips := sc.Channels * sc.ChipsPerChannel; sc.NumLogs > chips {
+		sc.NumLogs = chips
+	}
+
+	workers := 2 + rng.Intn(3)
+	hot := 2 + rng.Intn(3) // tiny hot set: maximal write-write contention
+	cold := hot + 4
+	hotKey := func() uint64 { return uint64(rng.Intn(hot)) }
+	anyKey := func() uint64 { return uint64(rng.Intn(cold)) }
+	perWorker := ops / (workers * sc.Rounds * 4) // ~4 steps per txn
+	if perWorker < 3 {
+		perWorker = 3
+	}
+	sc.Txns = make([][][]txnOp, workers)
+	for w := range sc.Txns {
+		txns := make([][]txnOp, perWorker)
+		for t := range txns {
+			var prog []txnOp
+			switch roll := rng.Intn(100); {
+			case roll < 55:
+				// Hot-key RMW, padded with reads to widen the window between
+				// the snapshot read and the write.
+				k := hotKey()
+				prog = append(prog, txnOp{Read: true, Key: k})
+				for i := rng.Intn(3); i > 0; i-- {
+					prog = append(prog, txnOp{Read: true, Key: anyKey()})
+				}
+				prog = append(prog, txnOp{Read: false, Key: k})
+			case roll < 70:
+				// Two-key RMW: a multi-record atomic commit, the shape the
+				// fractured-read axiom watches.
+				a, b := hotKey(), anyKey()
+				if a == b {
+					b = uint64((int(b) + 1) % cold)
+				}
+				prog = []txnOp{
+					{Read: true, Key: a}, {Read: true, Key: b},
+					{Read: false, Key: a}, {Read: false, Key: b},
+				}
+			case roll < 90:
+				// Read-only scan: must never block, abort, or observe a torn
+				// commit.
+				for i := 1 + rng.Intn(4); i > 0; i-- {
+					prog = append(prog, txnOp{Read: true, Key: anyKey()})
+				}
+			default:
+				// Blind write: write-write conflict with no prior read.
+				prog = []txnOp{{Read: false, Key: hotKey()}}
+			}
+			txns[t] = prog
+		}
+		sc.Txns[w] = txns
+	}
+	return sc
+}
+
+// ExploreSI runs n snapshot-isolation scenarios (seeds baseSeed..) of
+// roughly ops steps each through CheckHistorySI and returns the first
+// failure, or nil if every history satisfies the SI axioms.
+func ExploreSI(baseSeed int64, n, ops int, bug bool, progress func(string)) *Failure {
+	for i := 0; i < n; i++ {
+		seed := baseSeed + int64(i)
+		sc := GenSIScenario(seed, ops, bug)
+		res := Run(sc)
+		if progress != nil {
+			progress(fmt.Sprintf("si seed %d: %d events, %d violations", seed, len(res.Events), len(res.Violations)))
+		}
+		if res.Failed() {
+			return &Failure{Scenario: sc, Result: res}
+		}
+	}
+	return nil
 }
 
 // Failure is one failing scenario with its result, as found by Explore.

@@ -224,6 +224,12 @@ func (sc *Scenario) String() string {
 	if sc.SplitCommitBug {
 		b.WriteString(" SPLIT-COMMIT-BUG")
 	}
+	if sc.SIMode {
+		b.WriteString(" si-mode")
+	}
+	if sc.LostUpdateBug {
+		b.WriteString(" LOST-UPDATE-BUG")
+	}
 	b.WriteByte('\n')
 	if sc.ReadFailProb > 0 || sc.ProgramFailProb > 0 || sc.CutAfterPrograms > 0 {
 		fmt.Fprintf(&b, "  faults seed=%d readFail=%g progFail=%g cutAfterPrograms=%d torn=%v\n",

@@ -1,0 +1,266 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	kaml "github.com/kaml-ssd/kaml"
+)
+
+// Snapshot-isolation checker. CheckHistorySI validates a transaction
+// history produced by Cache.BeginSI workers against the SI axioms, using
+// value tags alone (no knowledge of the engine's internal timestamps):
+//
+//   - si-dirty-read: a transaction observed a value staged by a
+//     transaction that never committed, or an intermediate staged value a
+//     committed transaction later overwrote before committing.
+//   - si-unrepeatable-read: one transaction read the same key twice and
+//     saw different versions (SI reads are frozen at the begin snapshot).
+//   - si-fractured-read: a transaction observed committed writer W on one
+//     key but a version older than W's on another key of W's write set —
+//     W's atomic commit was seen torn.
+//   - si-lost-update: two committed transactions both read the same
+//     version of a key and both committed a write to it. First-committer-
+//     wins validation must have aborted one of them.
+//   - si-own-write: a read after the transaction's own write to the key
+//     did not return the staged value.
+//   - si-phantom-read: a read returned a tag no transaction ever wrote.
+//
+// Write-skew — two transactions reading each other's write sets' keys and
+// writing disjoint keys — is deliberately NOT flagged: SI permits it, and
+// that permissiveness is exactly what separates BeginSI from the SS2PL
+// serializability the base CheckHistory enforces.
+//
+// Only transactional events (Event.Txn != 0) participate; plain device
+// operations (e.g. the harness's post-run audit Gets) are ignored.
+func CheckHistorySI(events []Event) []Violation {
+	txns := make(map[uint64]*siTxn)
+	order := []uint64{} // txn handles in first-appearance order
+	get := func(id uint64) *siTxn {
+		t := txns[id]
+		if t == nil {
+			t = &siTxn{
+				id:     id,
+				writes: make(map[nsKey]uint64),
+				obs:    make(map[nsKey]siRead),
+				staged: make(map[uint64]bool),
+			}
+			txns[id] = t
+			order = append(order, id)
+		}
+		return t
+	}
+
+	var vs []Violation
+	flag := func(kind, format string, args ...interface{}) {
+		vs = append(vs, Violation{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Pass 1: walk the history in invocation order (event IDs are issued in
+	// invocation order and each transaction is single-threaded, so ID order
+	// is program order within a transaction), building per-transaction
+	// read/write summaries and checking the intra-transaction axioms
+	// (own-write, unrepeatable-read) on the way.
+	for i := range events {
+		ev := &events[i]
+		if ev.Txn == 0 {
+			continue
+		}
+		t := get(ev.Txn)
+		switch ev.Op {
+		case kaml.OpTxnUpdate, kaml.OpTxnInsert:
+			if ev.Err != ErrNone || len(ev.Recs) == 0 {
+				continue
+			}
+			rec := ev.Recs[0]
+			k := nsKey{ns: rec.NS, key: rec.Key}
+			t.writes[k] = rec.Tag
+			t.staged[rec.Tag] = true
+		case kaml.OpTxnRead:
+			if ev.Err != ErrNone && ev.Err != ErrNotFound {
+				continue
+			}
+			if len(ev.Recs) == 0 {
+				continue
+			}
+			k := nsKey{ns: ev.Recs[0].NS, key: ev.Recs[0].Key}
+			tag := uint64(0)
+			if ev.Err == ErrNone {
+				if !ev.Tagged {
+					continue // untagged value (not harness-written); no model
+				}
+				tag = ev.RetTag
+			}
+			if want, wrote := t.writes[k]; wrote {
+				// Read-your-writes: after this transaction staged a value
+				// for k, every read of k must return that staged value.
+				if tag != want {
+					flag("si-own-write",
+						"txn %d read ns%d k%d = tag %d after staging tag %d (event #%d)",
+						t.id, k.ns, k.key, tag, want, ev.ID)
+				}
+				continue // own observation: excluded from the snapshot axioms
+			}
+			if prev, seen := t.obs[k]; seen {
+				if prev.tag != tag {
+					flag("si-unrepeatable-read",
+						"txn %d read ns%d k%d twice from one snapshot: tag %d (event #%d) then tag %d (event #%d)",
+						t.id, k.ns, k.key, prev.tag, prev.ev, tag, ev.ID)
+				}
+				continue
+			}
+			t.obs[k] = siRead{ev: ev.ID, tag: tag}
+		case kaml.OpTxnCommit:
+			if ev.Err == ErrNone && ev.End >= 0 {
+				t.commit = ev
+			} else if ev.End < 0 || ev.Err == ErrPower {
+				t.commitMaybe = true // in-flight at a cut: may have applied
+			}
+		}
+	}
+
+	// Index every staged tag by its writing transaction, and every
+	// committed final write by key.
+	stagedBy := make(map[uint64]*siTxn)  // any staged tag -> writer
+	committed := make(map[uint64]*siTxn) // final committed tag -> writer
+	for _, id := range order {
+		t := txns[id]
+		for tag := range t.staged {
+			stagedBy[tag] = t
+		}
+		if t.commit != nil {
+			for _, tag := range t.writes {
+				committed[tag] = t
+			}
+		}
+	}
+
+	// Pass 2: cross-transaction axioms over each transaction's snapshot
+	// observations.
+	for _, id := range order {
+		t := txns[id]
+		for k, r := range t.obs {
+			if r.tag == 0 {
+				continue // key absent in the snapshot: nothing to trace
+			}
+			w, known := stagedBy[r.tag]
+			if !known {
+				flag("si-phantom-read",
+					"txn %d read ns%d k%d = tag %d, which no transaction ever wrote (event #%d)",
+					t.id, k.ns, k.key, r.tag, r.ev)
+				continue
+			}
+			if w.commit == nil {
+				if !w.commitMaybe {
+					flag("si-dirty-read",
+						"txn %d read ns%d k%d = tag %d staged by txn %d, which never committed (event #%d)",
+						t.id, k.ns, k.key, r.tag, w.id, r.ev)
+				}
+				continue
+			}
+			if w.writes[k] != r.tag {
+				flag("si-dirty-read",
+					"txn %d read ns%d k%d = tag %d, an intermediate value txn %d overwrote before committing (event #%d)",
+					t.id, k.ns, k.key, r.tag, w.id, r.ev)
+				continue
+			}
+			// Fractured read: t saw w's commit on k, so its snapshot is at
+			// or after w — every other key of w's write set must show w's
+			// version or a newer one, never an older one.
+			for k2, tag2 := range w.writes {
+				if k2 == k {
+					continue
+				}
+				r2, read := t.obs[k2]
+				if !read || r2.tag == tag2 {
+					continue
+				}
+				if r2.tag == 0 {
+					// w committed a value for k2 and nothing deletes keys:
+					// any snapshot containing w must show k2 present.
+					flag("si-fractured-read",
+						"txn %d saw txn %d's commit on ns%d k%d (tag %d) but ns%d k%d as absent — torn atomic commit (events #%d, #%d)",
+						t.id, w.id, k.ns, k.key, r.tag, k2.ns, k2.key, r.ev, r2.ev)
+					continue
+				}
+				w2, ok := committed[r2.tag]
+				if !ok || w2 == w {
+					continue
+				}
+				// Strictly older only: w2's commit finished before w's
+				// commit began. Overlapping commits are unordered in real
+				// time, so their relative sequence is unknowable here.
+				if w2.commit.End >= 0 && w2.commit.End < w.commit.Start {
+					flag("si-fractured-read",
+						"txn %d saw txn %d's commit on ns%d k%d (tag %d) but a pre-%d version of ns%d k%d (tag %d from txn %d) — torn atomic commit (events #%d, #%d)",
+						t.id, w.id, k.ns, k.key, r.tag, w.id, k2.ns, k2.key, r2.tag, w2.id, r.ev, r2.ev)
+				}
+			}
+		}
+	}
+
+	// Pass 3: lost updates. For every key, group the committed transactions
+	// that read it (from their snapshot, i.e. before any own write) and then
+	// committed a write to it, by the version they read. Two read-modify-
+	// write transactions starting from the same version means the first
+	// committer failed to abort the second.
+	type rmw struct {
+		txn *siTxn
+		obs siRead
+	}
+	byKey := make(map[nsKey][]rmw)
+	for _, id := range order {
+		t := txns[id]
+		if t.commit == nil {
+			continue
+		}
+		for k := range t.writes {
+			if r, read := t.obs[k]; read {
+				byKey[k] = append(byKey[k], rmw{txn: t, obs: r})
+			}
+		}
+	}
+	keys := make([]nsKey, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ns != keys[j].ns {
+			return keys[i].ns < keys[j].ns
+		}
+		return keys[i].key < keys[j].key
+	})
+	for _, k := range keys {
+		group := byKey[k]
+		sort.Slice(group, func(i, j int) bool { return group[i].txn.id < group[j].txn.id })
+		seen := make(map[uint64]rmw) // observed version -> first RMW txn
+		for _, g := range group {
+			if prev, dup := seen[g.obs.tag]; dup {
+				flag("si-lost-update",
+					"txns %d and %d both read ns%d k%d = tag %d and both committed writes to it — txn %d's update was lost (events #%d, #%d)",
+					prev.txn.id, g.txn.id, k.ns, k.key, g.obs.tag,
+					prev.txn.id, prev.obs.ev, g.obs.ev)
+				continue
+			}
+			seen[g.obs.tag] = g
+		}
+	}
+	return vs
+}
+
+// siRead is one snapshot observation: the event that made it and the
+// version tag it saw (0 = key absent).
+type siRead struct {
+	ev  uint64
+	tag uint64
+}
+
+// siTxn is the checker's summary of one transaction.
+type siTxn struct {
+	id          uint64
+	commit      *Event           // successful commit, nil otherwise
+	commitMaybe bool             // commit in flight at a power cut
+	writes      map[nsKey]uint64 // latest staged tag per key (= final write set)
+	obs         map[nsKey]siRead // first snapshot (non-own) observation per key
+	staged      map[uint64]bool  // every tag this transaction ever staged
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"github.com/kaml-ssd/kaml/internal/storage"
+)
+
+// SISweep compares the cache layer's two isolation levels — SS2PL
+// (Cache.Begin, serializable, S-locks on reads) and snapshot isolation
+// (Cache.BeginSI, lock-free snapshot reads, first-committer-wins writes) —
+// under the workloads where they differ:
+//
+//   - Hot-key read-modify-write: N workers all increment keys drawn from a
+//     hot set. Both levels must serialize the writes; the interesting
+//     series is the abort rate (wait-die deaths vs validation failures)
+//     and the committed-transaction rate as contention rises.
+//   - Reader coexistence: RMW writers plus full-table scanning readers.
+//     SS2PL scans S-lock every record and fight the writers; SI scans run
+//     against a pinned snapshot and cost the writers nothing.
+func SISweep(s Scale) []*Table {
+	return []*Table{siRMWTable(s), siReaderTable(s)}
+}
+
+const (
+	siWorkers   = 8
+	siTotalKeys = 64
+	siScanKeys  = 16 // one scan pass covers the hot set plus a cold tail
+	siValueSize = 256
+)
+
+func siWindows(s Scale) (warm, window time.Duration) {
+	warm = time.Duration(float64(5*time.Millisecond) * float64(s))
+	window = time.Duration(float64(80*time.Millisecond) * float64(s))
+	if warm < 1*time.Millisecond {
+		warm = 1 * time.Millisecond
+	}
+	if window < 10*time.Millisecond {
+		window = 10 * time.Millisecond
+	}
+	return warm, window
+}
+
+// siCounters are one measurement window's outcomes, counted only while the
+// window is open.
+type siCounters struct {
+	commits atomic.Int64
+	aborts  atomic.Int64
+	scans   atomic.Int64
+}
+
+// siBench runs writers (and optionally readers) against a fresh KAML cache
+// rig and returns the window's counters. Writers run hot-key RMW
+// transactions; readers scan the whole table in one transaction per pass.
+func siBench(s Scale, si bool, hotKeys, writers, readers int) *siCounters {
+	warm, window := siWindows(s)
+	rig := newOLTPRig(engineKAML, oltpFlash(), int64(siTotalKeys*siValueSize*2), 1, 1, 0)
+	ctr := &siCounters{}
+	rig.eng.Go("main", func() {
+		defer rig.closeFn()
+		c := rig.kaml
+		tbl, err := c.CreateTable("t", storage.TableHint{ExpectedRows: siTotalKeys})
+		if err != nil {
+			return
+		}
+		seed := c.Begin()
+		for k := uint64(0); k < siTotalKeys; k++ {
+			if err := seed.Insert(tbl, k, siVal(k, 0)); err != nil {
+				return
+			}
+		}
+		if err := seed.Commit(); err != nil {
+			return
+		}
+		seed.Free()
+
+		begin := func() storage.Tx {
+			if si {
+				return c.BeginSI()
+			}
+			return c.Begin()
+		}
+		var counting atomic.Bool
+		var stop atomic.Bool
+		wg := rig.eng.NewWaitGroup()
+		for w := 0; w < writers; w++ {
+			w := w
+			wg.Add(1)
+			rig.eng.Go(fmt.Sprintf("rmw-%d", w), func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)*7919 + 13))
+				for gen := uint64(1); !stop.Load(); gen++ {
+					k := uint64(rng.Intn(hotKeys))
+					tx := begin()
+					err := siRMW(tx, tbl, k, gen)
+					tx.Free()
+					switch {
+					case err == nil:
+						if counting.Load() {
+							ctr.commits.Add(1)
+						}
+					case errors.Is(err, storage.ErrAborted):
+						if counting.Load() {
+							ctr.aborts.Add(1)
+						}
+					default:
+						return
+					}
+				}
+			})
+		}
+		for r := 0; r < readers; r++ {
+			r := r
+			wg.Add(1)
+			rig.eng.Go(fmt.Sprintf("scan-%d", r), func() {
+				defer wg.Done()
+				for !stop.Load() {
+					tx := begin()
+					err := siScan(tx, tbl)
+					tx.Free()
+					switch {
+					case err == nil:
+						if counting.Load() {
+							ctr.scans.Add(1)
+						}
+					case errors.Is(err, storage.ErrAborted):
+						if counting.Load() {
+							ctr.aborts.Add(1)
+						}
+					default:
+						return
+					}
+				}
+			})
+		}
+		rig.eng.Go("clock", func() {
+			rig.eng.Sleep(warm)
+			counting.Store(true)
+			rig.eng.Sleep(window)
+			counting.Store(false)
+			stop.Store(true)
+		})
+		wg.Wait()
+		opsDone.Add(ctr.commits.Load() + ctr.scans.Load())
+	})
+	rig.eng.Wait()
+	return ctr
+}
+
+func siVal(key, gen uint64) []byte {
+	v := make([]byte, siValueSize)
+	v[0], v[1] = byte(key), byte(gen)
+	return v
+}
+
+// siRMW is one read-modify-write transaction: read the hot key, write it
+// back, commit. Any abort (wait-die under SS2PL, held lock or validation
+// failure under SI) surfaces as storage.ErrAborted.
+func siRMW(tx storage.Tx, tbl uint32, k, gen uint64) error {
+	if _, err := tx.Read(tbl, k); err != nil && !errors.Is(err, storage.ErrNotFound) {
+		if !errors.Is(err, storage.ErrAborted) {
+			tx.Abort()
+		}
+		return err
+	}
+	if err := tx.Update(tbl, k, siVal(k, gen)); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// siScan reads the first siScanKeys records (the hot set plus a cold
+// tail) in one transaction — under SS2PL that S-locks each record until
+// commit; under SI it touches no locks. SI reads bypass the DRAM record
+// cache (it holds only latest versions), so a snapshot scan pays a device
+// read per key — the honest cost of time-travel reads.
+func siScan(tx storage.Tx, tbl uint32) error {
+	for k := uint64(0); k < siScanKeys; k++ {
+		if _, err := tx.Read(tbl, k); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			if !errors.Is(err, storage.ErrAborted) {
+				tx.Abort()
+			}
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+func siRMWTable(s Scale) *Table {
+	_, window := siWindows(s)
+	t := &Table{
+		ID:    "sisweep",
+		Title: fmt.Sprintf("hot-key RMW: SS2PL vs snapshot isolation (%d writers)", siWorkers),
+		Header: []string{"hot_keys", "ss2pl_txn_s", "ss2pl_abort_rate",
+			"si_txn_s", "si_abort_rate"},
+	}
+	hotSets := []int{1, 2, 4, 16, 64}
+	type cell struct{ ss, si *siCounters }
+	cells := make([]cell, len(hotSets))
+	runCells(len(hotSets)*2, func(i int) {
+		hi, si := i/2, i%2 == 1
+		ctr := siBench(s, si, hotSets[hi], siWorkers, 0)
+		if si {
+			cells[hi].si = ctr
+		} else {
+			cells[hi].ss = ctr
+		}
+	})
+	rate := func(c *siCounters) string {
+		total := c.commits.Load() + c.aborts.Load()
+		if total == 0 {
+			return "0.000"
+		}
+		return fmt.Sprintf("%.3f", float64(c.aborts.Load())/float64(total))
+	}
+	for hi, hot := range hotSets {
+		c := cells[hi]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", hot),
+			fmt.Sprintf("%.0f", float64(c.ss.commits.Load())/window.Seconds()),
+			rate(c.ss),
+			fmt.Sprintf("%.0f", float64(c.si.commits.Load())/window.Seconds()),
+			rate(c.si),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"RMW = read hot key, write it back, commit; aborts are wait-die deaths (SS2PL) or first-committer-wins validation failures (SI)",
+		"write-write conflicts abort under both levels: SI removes read conflicts only, so hot-key RMW abort rates stay comparable",
+		"SI snapshot reads bypass the DRAM record cache, so its absolute rate trails SS2PL's cache hits once locks stop dominating")
+	return t
+}
+
+func siReaderTable(s Scale) *Table {
+	_, window := siWindows(s)
+	t := &Table{
+		ID:     "sisweep-readers",
+		Title:  fmt.Sprintf("RMW writers + full-table scan readers (%d writers, 2 readers, hot=4)", siWorkers),
+		Header: []string{"mode", "writer_txn_s", "scans_s", "abort_rate"},
+		Notes:  nil,
+	}
+	var cells [2]*siCounters
+	runCells(2, func(i int) {
+		cells[i] = siBench(s, i == 1, 4, siWorkers, 2)
+	})
+	for i, mode := range []string{"ss2pl", "si"} {
+		c := cells[i]
+		total := c.commits.Load() + c.scans.Load() + c.aborts.Load()
+		rate := 0.0
+		if total > 0 {
+			rate = float64(c.aborts.Load()) / float64(total)
+		}
+		t.Rows = append(t.Rows, []string{mode,
+			fmt.Sprintf("%.0f", float64(c.commits.Load())/window.Seconds()),
+			fmt.Sprintf("%.0f", float64(c.scans.Load())/window.Seconds()),
+			fmt.Sprintf("%.3f", rate),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("SS2PL scans S-lock %d records until commit, so scans and writers abort each other (wait-die)", siScanKeys),
+		"SI scans read a pinned snapshot: no locks, no aborts from read traffic — compare writer_txn_s against the hot=4 row above",
+		"SI scan passes are slower in absolute terms: snapshot reads bypass the DRAM cache and pay a device read per key")
+	return t
+}

@@ -393,10 +393,11 @@ func (t *ConcurrentTable) Clone() *ConcurrentTable {
 	return c
 }
 
-// MemoryBytes estimates the table's DRAM footprint (32 bytes/slot: the
-// seqlock counter costs 8 bytes over Table's 17-byte packed slots, and the
-// state field pads to a word).
-func (t *ConcurrentTable) MemoryBytes() int { return t.Capacity() * 32 }
+// MemoryBytes estimates the table's DRAM footprint (ConcurrentEntryBytes
+// per slot: the seqlock counter costs 8 bytes over Table's packed slots,
+// and the state field pads to a word — see the per-entry cost constants in
+// versions.go).
+func (t *ConcurrentTable) MemoryBytes() int { return t.Capacity() * ConcurrentEntryBytes }
 
 // Serialize writes the live entries in the same flat format as
 // Table.Serialize (8-byte count, then key/val pairs), so swapped-out

@@ -262,8 +262,9 @@ func (t *Table) Clone() *Table {
 // Compact rebuilds the table at its current capacity to drop tombstones.
 func (t *Table) Compact() { t.rehash(len(t.keys)) }
 
-// MemoryBytes estimates the table's DRAM footprint (17 bytes/slot).
-func (t *Table) MemoryBytes() int { return len(t.keys) * 17 }
+// MemoryBytes estimates the table's DRAM footprint (TableEntryBytes per
+// slot; see the per-entry cost constants in versions.go).
+func (t *Table) MemoryBytes() int { return len(t.keys) * TableEntryBytes }
 
 // Serialize writes the table's live entries in a flat format:
 // 8-byte count, then (key, val) pairs. Used when the firmware swaps an

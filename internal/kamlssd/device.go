@@ -69,6 +69,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -172,6 +173,27 @@ type Device struct {
 
 	namespaces map[uint32]*namespace
 
+	// families maps a family root's namespace ID to its version-chain
+	// container. An entry outlives DeleteNamespace of the root while
+	// snapshots of it remain — GC resolves record liveness through this map,
+	// and a record's OOB namespace field is always the family root. Guarded
+	// by mu.
+	families map[uint32]*family
+
+	// pins holds transient commit-timestamp pins (SI transactions, GetAt
+	// readers) as ts -> refcount. Version pruning keeps every version
+	// visible at a pinned timestamp. pinMu is a plain mutex (pure memory
+	// ops, like the index stripe locks) and nests inside everything.
+	pinMu sync.Mutex
+	pins  map[uint64]int
+
+	// GC-actor-only scratch for the per-cycle prune pass (gcLoop is the
+	// sole caller of pruneFamilies), so an idle cycle allocates nothing.
+	gcPruneFams []*family
+	gcPruneKeep []bool
+	gcPrunePins []uint64
+	chainLenObs func(int)
+
 	logs []*logState
 
 	// nv is the battery-backed region: staged values, batch commit
@@ -233,6 +255,12 @@ type Stats struct {
 	ReadRetries    int64 // injected read errors retried by Get
 	BlocksRetired  int64 // blocks taken out of service
 
+	// MVCC (see mvcc.go). VersionsPruned counts dead record versions
+	// unlinked from the chains; PinnedReads counts Gets resolved against an
+	// explicit commit timestamp (snapshots, GetAt, SI transaction reads).
+	VersionsPruned int64
+	PinnedReads    int64
+
 	// Recovery (populated by Recover on the post-crash device).
 	RecoveredRecords   int64 // index entries rebuilt from the flash scan
 	ReplayedValues     int64 // NVRAM values re-staged for flushing
@@ -248,6 +276,24 @@ type Stats struct {
 	CoalescerRecords  int64 // records across those commits
 	PipelineMaxQueue  int64 // peak pipeline occupancy observed
 	PipelineMeanQueue float64
+}
+
+// family groups a writable root namespace with the snapshots pinned
+// against it. It owns the per-key version chains (internal/hashindex
+// VersionChains) holding every retained version of every key the root has
+// ever written. The struct deliberately outlives the root namespace
+// object's map entry: snapshot shells hold a direct pointer, so deleting
+// the origin leaves their point-in-time reads fully functional
+// (TestDeleteOriginKeepsSnapshot). Chain mutations are serialized by
+// root.mu — the root namespace object is retained here for exactly that
+// lock even after deletion.
+type family struct {
+	root   *namespace
+	chains *hashindex.VersionChains
+	// rootLive is false once DeleteNamespace removed the root: pruning then
+	// stops protecting chain heads, so versions survive only while a pinned
+	// snapshot sees them. Guarded by d.mu.
+	rootLive bool
 }
 
 // namespace is one key-value namespace.
@@ -278,6 +324,12 @@ type namespace struct {
 	// view from the raw flash scan (newest record with seq <= cutoff).
 	// Immutable after creation.
 	cutoff uint64
+
+	// fam is the version-chain family this namespace belongs to: its own
+	// for writable roots, the origin's for snapshot shells. Immutable after
+	// creation. Snapshot shells (readonly, index == nil) resolve every read
+	// through fam.chains at their cutoff timestamp.
+	fam *family
 
 	// pendingBatches counts Put batches that have validated this namespace
 	// but not yet committed or aborted. SnapshotNamespace waits for zero so
@@ -339,6 +391,8 @@ func New(arr *flash.Array, ctrl *nvme.Controller, cfg Config) *Device {
 		ctrl:       ctrl,
 		eng:        arr.Engine(),
 		namespaces: make(map[uint32]*namespace),
+		families:   make(map[uint32]*family),
+		pins:       make(map[uint64]int),
 		nv:         NewNVRAM(),
 	}
 	d.initLocks()
@@ -353,6 +407,7 @@ func (d *Device) initLocks() {
 	d.mu = d.eng.NewRWMutex("kaml-dev")
 	d.nvMu = d.eng.NewMutex("kaml-nvram")
 	d.keyLks = newKeyLockTable(d.eng)
+	d.chainLenObs = func(l int) { d.met.observeChainLen(l) }
 }
 
 // newNamespace allocates the in-DRAM shell of a namespace, including its
@@ -475,6 +530,8 @@ func (d *Device) Stats() Stats {
 		ProgramRetries:     atomic.LoadInt64(&s.ProgramRetries),
 		ReadRetries:        atomic.LoadInt64(&s.ReadRetries),
 		BlocksRetired:      atomic.LoadInt64(&s.BlocksRetired),
+		VersionsPruned:     atomic.LoadInt64(&s.VersionsPruned),
+		PinnedReads:        atomic.LoadInt64(&s.PinnedReads),
 		RecoveredRecords:   atomic.LoadInt64(&s.RecoveredRecords),
 		ReplayedValues:     atomic.LoadInt64(&s.ReplayedValues),
 		DroppedUncommitted: atomic.LoadInt64(&s.DroppedUncommitted),
@@ -580,6 +637,8 @@ func (d *Device) CreateNamespace(attrs NamespaceAttrs) (uint32, error) {
 		ns := d.newNamespace(id)
 		ns.setIndex(newIndex(attrs.Index, capacity, d.cfg.AutoGrowIndex))
 		ns.cutoff = noCutoff
+		ns.fam = &family{root: ns, chains: hashindex.NewVersionChains(capacity), rootLive: true}
+		d.families[id] = ns.fam
 		nLogs := attrs.NumLogs
 		if nLogs <= 0 || nLogs > len(d.logs) {
 			nLogs = len(d.logs) // by default all logs serve every namespace
@@ -598,8 +657,12 @@ func (d *Device) CreateNamespace(attrs NamespaceAttrs) (uint32, error) {
 	return id, err
 }
 
-// DeleteNamespace destroys a namespace; its records become garbage that GC
-// will reclaim (Table I).
+// DeleteNamespace destroys a namespace; record versions no surviving pin
+// can see become garbage that GC will reclaim (Table I). Deleting a family
+// root while snapshots of it remain keeps the version chains (and so the
+// snapshots' reads) fully alive — only the chain versions newer than every
+// surviving pin are released. Deleting the last member of a family releases
+// everything.
 func (d *Device) DeleteNamespace(id uint32) error {
 	var err error
 	d.ctrl.Submit(func() {
@@ -611,25 +674,40 @@ func (d *Device) DeleteNamespace(id uint32) error {
 			err = fmt.Errorf("%w: %d", ErrNoNamespace, id)
 			return
 		}
-		// Every record owned by the namespace stops being valid; fix up the
-		// per-block valid-byte accounting so GC victim scoring stays honest.
-		ns.mu.Lock()
-		if !ns.swapped {
-			d.met.addIndexEntries(-ns.index.Len())
-			ns.index.Range(func(key, val uint64) bool {
-				if loc := location(val); loc.isFlash() {
-					d.discountValid(loc)
-				}
-				return true
-			})
-		}
-		ns.mu.Unlock()
 		delete(d.namespaces, id)
 		d.nvMu.Lock()
 		d.nv.deleteNS(id)
 		d.nvMu.Unlock()
+		fam := ns.fam
+		if fam.root == ns {
+			fam.rootLive = false
+			ns.mu.Lock()
+			if !ns.swapped && ns.index != nil {
+				d.met.addIndexEntries(-ns.index.Len())
+			}
+			ns.mu.Unlock()
+		}
+		if d.familyRefsLocked(fam) == 0 {
+			delete(d.families, fam.root.id)
+		}
+		// Versions invisible to every surviving pin (for a dead root that
+		// includes the chain heads) release their flash space now; the
+		// per-block valid-byte accounting keeps GC victim scoring honest.
+		d.pruneFamilyLocked(fam)
 	})
 	return err
+}
+
+// familyRefsLocked counts live namespaces still referencing fam. Called
+// with d.mu held.
+func (d *Device) familyRefsLocked(fam *family) int {
+	n := 0
+	for _, ns := range d.namespaces {
+		if ns.fam == fam {
+			n++
+		}
+	}
+	return n
 }
 
 // SetNamespaceLogs retunes how many logs the namespace appends to,
@@ -704,6 +782,9 @@ func (d *Device) IndexLoadFactor(id uint32) (float64, error) {
 	defer ns.mu.RUnlock()
 	if ns.swapped {
 		return 0, ErrSwappedOut
+	}
+	if ns.index == nil {
+		return 0, nil // snapshot shell: reads resolve through version chains
 	}
 	return ns.index.LoadFactor(), nil
 }

@@ -26,6 +26,10 @@ func (d *Device) gcLoop() {
 		if d.crashed.Load() || (d.closed.Load() && d.flushersLive.Load() == 0) {
 			return
 		}
+		// One prune pass per cycle: versions no pin can see release their
+		// flash space, which is what lets the victim scoring below find
+		// them as garbage (snapshot-aware GC, DESIGN.md §14).
+		d.pruneFamilies()
 		var work *logState
 		for _, lg := range d.logs {
 			lg.mu.Lock()
@@ -278,28 +282,22 @@ func (lg *logState) gcCapacityPages() int {
 	return pages
 }
 
-// recordLive implements §IV-E's validity rule, extended for snapshots: a
-// scanned record is live iff ANY member of its namespace family (the
-// origin plus its snapshots) still points exactly at the scanned location.
-// A swapped-out member is treated as live conservatively (keeping garbage
-// is safe; losing data is not). Takes the device read lock and each
-// member's read lock internally.
+// recordLive implements §IV-E's validity rule under MVCC: a scanned record
+// is live iff its family's version chains still retain a version at exactly
+// the scanned location — the key's newest version, or an older one kept
+// because a snapshot cutoff or transaction pin can still see it. Pruning
+// (mvcc.go) is what turns superseded versions into garbage; a family whose
+// members are all deleted has no chains entry, so its records are dead.
+// The chain walk is lock-free and exact even while the root's mapping
+// table is swapped out (chains stay DRAM-resident).
 func (d *Device) recordLive(rec record.Record, loc location) bool {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	for _, ns := range d.familyMembers(rec.Namespace) {
-		ns.mu.RLock()
-		if ns.swapped {
-			ns.mu.RUnlock()
-			return true // conservative: cannot check without loading
-		}
-		val, _, err := ns.index.Get(rec.Key)
-		ns.mu.RUnlock()
-		if err == nil && location(val) == loc {
-			return true
-		}
+	fam := d.families[rec.Namespace]
+	d.mu.RUnlock()
+	if fam == nil {
+		return false
 	}
-	return false
+	return fam.chains.VersionAtLoc(rec.Key, uint64(loc)) != nil
 }
 
 // gcProgram programs one GC-stream page, rewriting on injected program
@@ -351,34 +349,34 @@ func (d *Device) relocateRecords(lg *logState, live []gcRecord) error {
 		}
 		addStat(&d.stats.Programs, 1)
 		addStat(&d.stats.FlashBytesWritten, int64(d.fc.PageSize))
-		// Hold the device read lock across the install loop so snapshot
-		// creation can't observe a half-swung family (same reason as the
-		// flusher's install, log.go).
+		// Hold the device read lock across the install loop so namespace
+		// creation/deletion can't observe a half-swung page (same reason as
+		// the flusher's install, log.go).
 		d.mu.RLock()
 		for _, g := range group {
 			newLoc := flashLoc(ppn, g.newChunk, g.oldLoc.nchunks())
-			moved := false
-			for _, ns := range d.familyMembers(g.rec.Namespace) {
-				ns.mu.Lock()
-				if ns.swapped {
-					ns.mu.Unlock()
-					continue
-				}
-				cur, _, err := ns.index.Get(g.rec.Key)
-				if err != nil || location(cur) != g.oldLoc {
-					ns.mu.Unlock()
-					continue // superseded mid-GC in this member
-				}
-				_, _, err = ns.index.Put(g.rec.Key, uint64(newLoc))
-				ns.mu.Unlock()
-				if err == nil {
-					moved = true
+			fam := d.families[g.rec.Namespace]
+			if fam == nil {
+				continue // family deleted mid-GC: dead on arrival
+			}
+			fam.root.mu.Lock()
+			node := fam.chains.VersionAtLoc(g.rec.Key, uint64(g.oldLoc))
+			if node == nil {
+				fam.root.mu.Unlock()
+				continue // version superseded and pruned mid-GC
+			}
+			node.SetLoc(uint64(newLoc))
+			// The root's mapping table mirrors the chain head's location;
+			// swing it too when this version is the one it names.
+			if !fam.root.swapped && fam.root.index != nil {
+				cur, _, err := fam.root.index.Get(g.rec.Key)
+				if err == nil && location(cur) == g.oldLoc {
+					_, _, _ = fam.root.index.Put(g.rec.Key, uint64(newLoc))
 				}
 			}
-			if moved {
-				d.discountValid(g.oldLoc)
-				d.creditValid(newLoc)
-			}
+			fam.root.mu.Unlock()
+			d.discountValid(g.oldLoc)
+			d.creditValid(newLoc)
 		}
 		d.mu.RUnlock()
 		group = nil

@@ -319,34 +319,33 @@ func (d *Device) flusherLoop(lg *logState) {
 	}
 }
 
-// installFlashLoc is phase 3 of Put for one record: swing the index entry
-// from the NVRAM location to the flash location unless a newer version
-// superseded it while the page was in flight. Snapshots taken while the
-// record sat in NVRAM cloned the NVRAM location, so every family member's
-// entry is swung. Called with d.mu read-held and no namespace or log lock.
+// installFlashLoc is phase 3 of Put for one record: swing the record's
+// version-chain node from the NVRAM location to the flash location. Under
+// MVCC even a superseded version gets its flash location installed — it
+// stays readable at pinned timestamps until pruned — and its flash space
+// is credited exactly once here (prune discounts it later). A version
+// already pruned or aborted is absent from the chain: its flash copy is
+// dead on arrival and never credited. The root's mapping table mirrors the
+// chain head, so the table entry is swung only when it still names this
+// version's NVRAM location. Called with d.mu read-held and no namespace or
+// log lock.
 func (d *Device) installFlashLoc(pr pendingRec, ppn flash.PPN) {
 	nchunks := (pr.size + d.cfg.ChunkSize - 1) / d.cfg.ChunkSize
 	loc := flashLoc(ppn, pr.chunk, nchunks)
-	credited := false
-	for _, ns := range d.familyMembers(pr.ns) {
-		ns.mu.Lock()
-		if ns.swapped {
-			ns.mu.Unlock()
-			continue // snapshot swapped with an NVRAM loc cannot happen: swap drains first
-		}
-		cur, _, err := ns.index.Get(pr.key)
-		if err != nil || location(cur) != nvramLoc(pr.seq) {
-			ns.mu.Unlock()
-			continue // superseded in this member: its copy is dead on arrival
-		}
-		_, _, perr := ns.index.Put(pr.key, uint64(loc))
-		ns.mu.Unlock()
-		if perr != nil {
-			continue
-		}
-		if !credited {
+	if fam := d.families[pr.ns]; fam != nil {
+		fam.root.mu.Lock()
+		if node := fam.chains.VersionAtLoc(pr.key, uint64(nvramLoc(pr.seq))); node != nil {
+			node.SetLoc(uint64(loc))
+			if !fam.root.swapped && fam.root.index != nil {
+				cur, _, err := fam.root.index.Get(pr.key)
+				if err == nil && location(cur) == nvramLoc(pr.seq) {
+					_, _, _ = fam.root.index.Put(pr.key, uint64(loc))
+				}
+			}
+			fam.root.mu.Unlock()
 			d.creditValid(loc)
-			credited = true
+		} else {
+			fam.root.mu.Unlock()
 		}
 	}
 	// Release the NVRAM copy — unless its batch has not committed yet, in

@@ -27,6 +27,9 @@ type devMetrics struct {
 	flashInstall *telemetry.Histogram // NVRAM stage -> flash index swing, per record
 	gcPause      *telemetry.Histogram // one victim collection, scan to erase
 
+	versionsPruned *telemetry.Counter   // MVCC versions reclaimed (no snapshot/txn sees them)
+	chainLen       *telemetry.Histogram // version-chain length at prune time, per key
+
 	// Per-log series, indexed by log ID.
 	gcCopiedBytes []*telemetry.Counter // valid bytes relocated out of victims
 	gcErases      []*telemetry.Counter // victim erases (incl. failed-erase retirements)
@@ -45,20 +48,24 @@ func newDevMetrics(r *telemetry.Registry, numLogs int) *devMetrics {
 	r.Help("kaml_ssd_index_read_retries_total", "Seqlock re-reads and epoch restarts on the lock-free index read path.")
 	r.Help("kaml_ssd_flash_install_seconds", "Per-record latency from NVRAM staging to the flash index swing (virtual time).")
 	r.Help("kaml_gc_pause_seconds", "Duration of one GC victim collection (virtual time).")
+	r.Help("kaml_mvcc_versions_pruned_total", "Dead MVCC versions unlinked from the version chains.")
+	r.Help("kaml_mvcc_chain_length", "Per-key version-chain length observed at each pruning pass.")
 	r.Help("kaml_gc_copied_bytes_total", "Valid bytes relocated out of GC victim blocks, per log.")
 	r.Help("kaml_gc_erases_total", "GC block erases, per log.")
 	r.Help("kaml_wear_erase_min", "Minimum block erase count observed in the log at the last victim scan.")
 	r.Help("kaml_wear_erase_max", "Maximum block erase count observed in the log at the last victim scan.")
 	m := &devMetrics{
-		nvramStaged:   r.Gauge("kaml_ssd_nvram_staged_values"),
-		indexEntries:  r.Gauge("kaml_ssd_index_entries"),
-		indexRetries:  r.Counter("kaml_ssd_index_read_retries_total"),
-		flashInstall:  r.Histogram("kaml_ssd_flash_install_seconds", telemetry.UnitSeconds),
-		gcPause:       r.Histogram("kaml_gc_pause_seconds", telemetry.UnitSeconds),
-		gcCopiedBytes: make([]*telemetry.Counter, numLogs),
-		gcErases:      make([]*telemetry.Counter, numLogs),
-		wearMin:       make([]*telemetry.Gauge, numLogs),
-		wearMax:       make([]*telemetry.Gauge, numLogs),
+		nvramStaged:    r.Gauge("kaml_ssd_nvram_staged_values"),
+		indexEntries:   r.Gauge("kaml_ssd_index_entries"),
+		indexRetries:   r.Counter("kaml_ssd_index_read_retries_total"),
+		flashInstall:   r.Histogram("kaml_ssd_flash_install_seconds", telemetry.UnitSeconds),
+		gcPause:        r.Histogram("kaml_gc_pause_seconds", telemetry.UnitSeconds),
+		versionsPruned: r.Counter("kaml_mvcc_versions_pruned_total"),
+		chainLen:       r.Histogram("kaml_mvcc_chain_length", telemetry.UnitNone),
+		gcCopiedBytes:  make([]*telemetry.Counter, numLogs),
+		gcErases:       make([]*telemetry.Counter, numLogs),
+		wearMin:        make([]*telemetry.Gauge, numLogs),
+		wearMax:        make([]*telemetry.Gauge, numLogs),
 	}
 	for i := 0; i < numLogs; i++ {
 		lbl := strconv.Itoa(i)
@@ -103,6 +110,20 @@ func (m *devMetrics) observeGCPause(d time.Duration) {
 		return
 	}
 	m.gcPause.ObserveDuration(d)
+}
+
+func (m *devMetrics) addVersionsPruned(n int64) {
+	if m == nil {
+		return
+	}
+	m.versionsPruned.Add(n)
+}
+
+func (m *devMetrics) observeChainLen(n int) {
+	if m == nil {
+		return
+	}
+	m.chainLen.Observe(int64(n))
 }
 
 func (m *devMetrics) addGCCopiedBytes(log int, n int64) {

@@ -1,0 +1,168 @@
+package kamlssd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Time travel: every overwrite leaves a readable version while a pin (here
+// an explicit PinCurrent) protects it, and GetAt resolves each historical
+// timestamp to the value that was current then.
+func TestGetAtTimeTravel(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, err := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Five generations of key 1, recording the commit TS after each.
+		var stamps []uint64
+		for gen := 0; gen < 5; gen++ {
+			if err := r.dev.Put(one(ns, 1, []byte(fmt.Sprintf("gen-%d", gen)))); err != nil {
+				t.Fatal(err)
+			}
+			ts := r.dev.PinCurrent() // protect the version from pruning
+			defer r.dev.ReleasePin(ts)
+			stamps = append(stamps, ts)
+		}
+		for gen, ts := range stamps {
+			v, gerr := r.dev.GetAt(ns, 1, ts)
+			if gerr != nil {
+				t.Fatalf("GetAt gen %d (ts %d): %v", gen, ts, gerr)
+			}
+			if want := fmt.Sprintf("gen-%d", gen); string(v) != want {
+				t.Fatalf("GetAt gen %d: %q, want %q", gen, v, want)
+			}
+		}
+		// Before the first write the key did not exist.
+		if _, gerr := r.dev.GetAt(ns, 1, 0); !errors.Is(gerr, ErrKeyNotFound) {
+			t.Fatalf("GetAt ts 0: %v, want ErrKeyNotFound", gerr)
+		}
+		// The head is also reachable through CommitTS.
+		v, gerr := r.dev.GetAt(ns, 1, r.dev.CommitTS())
+		if gerr != nil || string(v) != "gen-4" {
+			t.Fatalf("GetAt now: %q %v", v, gerr)
+		}
+	})
+}
+
+// Unpinned overwrites are pruned promptly: after heavy overwriting with no
+// snapshot or transaction pin, every chain collapses back to length 1, and
+// the dead versions show up in the counters.
+func TestChainsCollapseWithoutPins(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, err := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gen := 0; gen < 10; gen++ {
+			for k := uint64(0); k < 8; k++ {
+				if err := r.dev.Put(one(ns, k, val(k, 64))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		r.dev.Flush()
+		keys, versions, maxChain, verr := r.dev.VersionStats(ns)
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		if keys != 8 {
+			t.Fatalf("keys = %d, want 8", keys)
+		}
+		// Overwrite-time pruning keeps unpinned chains at their head only.
+		if maxChain != 1 || versions != keys {
+			t.Fatalf("versions=%d maxChain=%d, want chains collapsed to heads", versions, maxChain)
+		}
+		if st := r.dev.Stats(); st.VersionsPruned < int64(8*9) {
+			t.Fatalf("VersionsPruned = %d, want >= 72", st.VersionsPruned)
+		}
+	})
+}
+
+// A pinned snapshot holds its versions through overwrites and GC-cycle
+// pruning; releasing the pin lets the next prune collapse the chains.
+func TestPinProtectsVersionsUntilRelease(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, err := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 4; k++ {
+			if err := r.dev.Put(one(ns, k, []byte{byte(k), 1})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pin := r.dev.PinCurrent()
+		for gen := 2; gen < 6; gen++ {
+			for k := uint64(0); k < 4; k++ {
+				if err := r.dev.Put(one(ns, k, []byte{byte(k), byte(gen)})); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		r.dev.Flush()
+		_, versions, _, verr := r.dev.VersionStats(ns)
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		// Each key keeps the pinned version and the head; the intermediate
+		// generations are prunable and mostly gone already.
+		if versions < 8 {
+			t.Fatalf("versions = %d, want >= 8 (pinned + head per key)", versions)
+		}
+		for k := uint64(0); k < 4; k++ {
+			v, gerr := r.dev.GetAt(ns, k, pin)
+			if gerr != nil || !bytes.Equal(v, []byte{byte(k), 1}) {
+				t.Fatalf("pinned read key %d: %v %v", k, v, gerr)
+			}
+		}
+		r.dev.ReleasePin(pin)
+		// One more overwrite per key triggers post-commit pruning with no
+		// pins left.
+		for k := uint64(0); k < 4; k++ {
+			if err := r.dev.Put(one(ns, k, []byte{byte(k), 9})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.dev.Flush()
+		_, versions, maxChain, verr := r.dev.VersionStats(ns)
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		if maxChain != 1 || versions != 4 {
+			t.Fatalf("after release: versions=%d maxChain=%d, want 4/1", versions, maxChain)
+		}
+	})
+}
+
+// GetAt against a snapshot namespace clamps to the snapshot's cutoff: the
+// snapshot's view cannot be moved forward past its creation point.
+func TestGetAtClampsToSnapshotCutoff(t *testing.T) {
+	withRig(t, testFlashConfig(), nil, func(r *rig) {
+		ns, err := r.dev.CreateNamespace(NamespaceAttrs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.dev.Put(one(ns, 1, []byte("old"))); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := r.dev.SnapshotNamespace(ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.dev.Put(one(ns, 1, []byte("new"))); err != nil {
+			t.Fatal(err)
+		}
+		now := r.dev.CommitTS()
+		v, gerr := r.dev.GetAt(snap, 1, now)
+		if gerr != nil || string(v) != "old" {
+			t.Fatalf("snapshot GetAt(now): %q %v, want old", v, gerr)
+		}
+		v, gerr = r.dev.GetAt(ns, 1, now)
+		if gerr != nil || string(v) != "new" {
+			t.Fatalf("root GetAt(now): %q %v, want new", v, gerr)
+		}
+	})
+}

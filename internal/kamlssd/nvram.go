@@ -98,6 +98,7 @@ type nvEntry struct {
 // nvBatch tracks one Put batch's commit state.
 type nvBatch struct {
 	committed bool
+	first     uint64 // first seq of the range reserved at beginBatch
 	seqs      []uint64
 	remaining int // staged values not yet durable on flash
 }
@@ -129,23 +130,44 @@ func NewNVRAM() *NVRAM {
 	}
 }
 
-// beginBatch opens a new uncommitted batch and returns its ID.
-func (nv *NVRAM) beginBatch() uint64 {
+// beginBatch opens a new uncommitted batch and reserves n contiguous
+// commit timestamps for it, returning the batch ID and the first reserved
+// seq. Reserving the whole range up front — before any record is staged —
+// means a snapshot pin taken at the current nvSeq can never split a batch:
+// either every record of the batch is ≤ the pin (and the pinned reader
+// waits for the batch's commit/abort decision) or none is.
+func (nv *NVRAM) beginBatch(n int) (batch, firstSeq uint64) {
 	nv.nextBatch++
-	nv.batches[nv.nextBatch] = &nvBatch{}
-	return nv.nextBatch
+	firstSeq = nv.nvSeq + 1
+	nv.batches[nv.nextBatch] = &nvBatch{first: firstSeq}
+	nv.nvSeq += uint64(n)
+	return nv.nextBatch, firstSeq
 }
 
-// stage allocates the next sequence number and stores the value.
-func (nv *NVRAM) stage(ns uint32, key uint64, val []byte, batch uint64) uint64 {
-	nv.nvSeq++
-	seq := nv.nvSeq
+// settledSeq returns the newest commit timestamp with no in-flight batch
+// at or below it: every seq <= settledSeq belongs to a batch that already
+// committed or aborted (or is an unused reservation gap). SI begin
+// timestamps come from here so a transaction's snapshot can never be
+// fractured by a batch that was mid-stage at begin.
+func (nv *NVRAM) settledSeq() uint64 {
+	ts := nv.nvSeq
+	for _, b := range nv.batches {
+		if !b.committed && b.first-1 < ts {
+			ts = b.first - 1
+		}
+	}
+	return ts
+}
+
+// stage stores the value under a sequence number reserved by beginBatch.
+// Unused reserved seqs (a batch aborted mid-stage, or the split-commit test
+// path re-reserving) are harmless gaps in the timestamp space.
+func (nv *NVRAM) stage(seq uint64, ns uint32, key uint64, val []byte, batch uint64) {
 	nv.values[seq] = &nvEntry{ns: ns, key: key, val: getStaging(val), batch: batch}
 	nv.staged.Add(1)
 	b := nv.batches[batch]
 	b.seqs = append(b.seqs, seq)
 	b.remaining++
-	return seq
 }
 
 // commitBatch is the batch's commit point. Values whose flash copies were

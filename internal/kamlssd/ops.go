@@ -16,13 +16,15 @@ import (
 // failed with an injected (transient) medium error before giving up.
 const maxReadRetries = 4
 
-// undoEntry remembers a key's pre-batch index state for atomic rollback.
+// undoEntry remembers a key's pre-batch index state for atomic rollback,
+// and the staged version-chain node for commit stamping / abort popping.
 type undoEntry struct {
 	ns      *namespace
 	key     uint64
 	existed bool
 	oldVal  uint64
 	seq     uint64
+	node    *hashindex.Version
 }
 
 // PutRecord is one element of an atomic Put batch (Table I: Put takes
@@ -66,6 +68,12 @@ func (d *Device) execGet(nsID uint32, key uint64) ([]byte, error) {
 		return nil, lerr
 	}
 	addStat(&d.stats.Gets, 1)
+	if ns.origin != 0 {
+		// Snapshot shell: no mapping table of its own. Resolve through the
+		// family's version chains at the snapshot's pinned commit timestamp
+		// (snapshot.go); the walk is lock-free like the root's index probe.
+		return d.readPinned(ns.fam, key, ns.cutoff)
+	}
 
 	// lookup resolves the key's current location. Only the first probe
 	// sequence is charged (re-resolutions after a concurrent install or GC
@@ -108,46 +116,14 @@ func (d *Device) execGet(nsID uint32, key uint64) ([]byte, error) {
 			return location(val), true
 		}
 	}
-	// nvValue copies a staged value out under the NVRAM lock (the
-	// buffer itself is pooled and may be recycled after release).
-	//
+	// nvValue (d.nvFetch) copies a staged value out under the NVRAM lock.
 	// A staged value whose batch has no commit marker yet is NOT served:
 	// execPut installs index entries record by record (phase 1b) before
 	// the batch's single commit point, so the index can briefly point at
 	// a value that is not yet — and might never be — committed. Serving
-	// it would be a dirty read: if the batch aborts (power cut,
-	// mapping-table-full rollback) the host would have observed a value
-	// that officially never existed. Instead the reader waits out the
-	// window; the writer resolves it in bounded virtual time by either
-	// writing the marker or rolling the index back.
-	nvValue := func(loc location) ([]byte, bool, error) {
-		for {
-			if !d.nv.hasStaged() {
-				// Lock-free miss: nothing is staged anywhere, so probing
-				// the map under nvMu could only miss too (the flusher
-				// already installed every value this index entry could
-				// name). Skips the NVRAM lock on flushed working sets.
-				return nil, false, nil
-			}
-			d.nvMu.Lock()
-			v, committed, ok := d.nv.valueState(loc.seq())
-			if ok && committed {
-				v = append([]byte(nil), v...)
-			}
-			d.nvMu.Unlock()
-			if !ok {
-				return nil, false, nil
-			}
-			if committed {
-				return v, true, nil
-			}
-			if d.crashed.Load() || !d.arr.Powered() {
-				d.noticePowerLoss()
-				return nil, false, ErrPowerLoss
-			}
-			d.eng.Sleep(d.cfg.FlushPoll)
-		}
-	}
+	// it would be a dirty read; nvFetch waits out the window instead (see
+	// mvcc.go — the pinned read path shares the same protocol).
+	nvValue := d.nvFetch
 
 	loc, ok := lookup()
 	if !ok {
@@ -322,8 +298,11 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 	// whole, which is what makes multi-record Put atomic. Old index
 	// values are remembered so a mid-batch failure (mapping table
 	// full, power cut) rolls back atomically.
+	// Reserving the batch's whole seq range here — before any staging —
+	// keeps commit timestamps batch-contiguous: a snapshot or SI pin taken
+	// at the current seq can never split the batch (see NVRAM.beginBatch).
 	d.nvMu.Lock()
-	batchID := d.nv.beginBatch()
+	batchID, seqCur := d.nv.beginBatch(len(batch))
 	d.nvMu.Unlock()
 	totalProbes := 0
 	newKeys := 0
@@ -348,8 +327,14 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 			// visibility the model checker must catch.
 			d.nvMu.Lock()
 			d.nv.commitBatch(batchID)
-			batchID = d.nv.beginBatch()
+			batchID, seqCur = d.nv.beginBatch(len(batch) - 1)
 			d.nvMu.Unlock()
+			// The first record's marker is durable, so its version node is
+			// commit-stamped now — a reader pinned inside the widened window
+			// would otherwise wait forever on a "pending" version.
+			if len(undo) > 0 {
+				undo[0].ns.fam.chains.Commit(undo[0].node)
+			}
 			// The window must span several reader scheduling points to be
 			// findable in a small seed budget. The lock-free read path cut
 			// a Get to ~5 yield points, so the original 2µs window had
@@ -369,8 +354,10 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 		}
 		ns := nss[r.Namespace]
 
+		seq := seqCur
+		seqCur++
 		d.nvMu.Lock()
-		seq := d.nv.stage(r.Namespace, r.Key, r.Value, batchID)
+		d.nv.stage(seq, r.Namespace, r.Key, r.Value, batchID)
 		d.noteNVRAMLocked()
 		d.nvMu.Unlock()
 		var stagedAt time.Duration
@@ -380,7 +367,9 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 
 		// One upsert does the supersede lookup and the NVRAM-location
 		// install in a single probe sequence (the old Get+Put pair
-		// probed the table twice per update).
+		// probed the table twice per update). The table entry is a mirror
+		// of the key's chain head; the superseded version stays alive in
+		// the chain — its flash space is released at prune time, not here.
 		ns.mu.Lock()
 		old, probes, existed, perr := ns.index.Upsert(r.Key, uint64(nvramLoc(seq)))
 		if perr != nil {
@@ -389,8 +378,18 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 			// restore every already-staged entry to its previous value.
 			return abort(fmt.Errorf("%w: ns %d", ErrIndexFull, r.Namespace))
 		}
-		if existed && location(old).isFlash() {
-			d.discountValid(location(old))
+		node, verr := ns.fam.chains.Push(r.Key, seq, uint64(nvramLoc(seq)))
+		if verr != nil {
+			// Unreachable by construction (key locks serialize per-key
+			// pushes and seqs are monotone), but fail atomically if it ever
+			// trips: restore the mirror entry and roll the batch back.
+			if existed {
+				_, _, _ = ns.index.Put(r.Key, old)
+			} else {
+				_, _ = ns.index.Delete(r.Key)
+			}
+			ns.mu.Unlock()
+			return abort(fmt.Errorf("kamlssd: version push ns %d key %d: %w", r.Namespace, r.Key, verr))
 		}
 		lgID := ns.logIDs[ns.rr%len(ns.logIDs)]
 		ns.rr++
@@ -400,7 +399,7 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 		if !existed {
 			newKeys++
 		}
-		undo = append(undo, undoEntry{ns: ns, key: r.Key, existed: existed, oldVal: old, seq: seq})
+		undo = append(undo, undoEntry{ns: ns, key: r.Key, existed: existed, oldVal: old, seq: seq, node: node})
 
 		rec := record.Record{Namespace: r.Namespace, Key: r.Key, Seq: seq, Value: r.Value}
 		lg := d.logs[lgID]
@@ -444,6 +443,21 @@ func (d *Device) execPut(batch []cmdq.Record, merged int) error {
 	d.nvMu.Lock()
 	d.nv.commitBatch(batchID)
 	d.nvMu.Unlock()
+	// Stamp every staged version committed (lock-free state stores — the
+	// key locks are still held, so no competing mutation can interleave),
+	// then prune each touched chain: versions superseded by this batch die
+	// now unless a snapshot or transaction pin still sees them.
+	for _, u := range undo {
+		u.ns.fam.chains.Commit(u.node)
+	}
+	pins := d.snapshotPins()
+	pruned := 0
+	for _, u := range undo {
+		u.ns.mu.Lock()
+		pruned += u.ns.fam.chains.Prune(u.key, pins, true, d.versionDead)
+		u.ns.mu.Unlock()
+	}
+	d.notePruned(pruned)
 	// A group commit acknowledges every merged Put command at once; Puts
 	// counts logical commands, not commits (CoalescerBatches counts those).
 	cmds := merged
@@ -479,12 +493,11 @@ func (d *Device) rollbackStaged(undo []undoEntry) {
 		} else {
 			_, _ = u.ns.index.Delete(u.key)
 		}
+		// Pop the staged version: racing chain walkers skip aborted nodes
+		// and re-resolve. The superseded version was never discounted (that
+		// happens at prune time now), so there is nothing to credit back.
+		u.ns.fam.chains.Abort(u.key, u.node)
 		u.ns.mu.Unlock()
-		if u.existed {
-			if loc := location(u.oldVal); loc.isFlash() {
-				d.creditValid(loc) // undo the supersede discount
-			}
-		}
 	}
 }
 
@@ -521,6 +534,19 @@ func (d *Device) NamespaceKeys(nsID uint32) ([]uint64, error) {
 	var keys []uint64
 	var err error
 	d.ctrl.Submit(func() {
+		if ns.origin != 0 {
+			// Snapshot shell: enumerate the family chains, keeping keys with
+			// a committed version inside the snapshot's pinned view.
+			ch := ns.fam.chains
+			ch.Range(func(key uint64, _ *hashindex.Version) bool {
+				if _, _, gerr := ch.GetAtOrBefore(key, ns.cutoff); gerr == nil {
+					keys = append(keys, key)
+				}
+				return true
+			})
+			d.ctrl.ComputeProbes(len(keys) / 64)
+			return
+		}
 		ns.mu.RLock()
 		if ns.swapped {
 			ns.mu.RUnlock()
@@ -551,6 +577,13 @@ func (d *Device) Exists(nsID uint32, key uint64) (bool, error) {
 	ns, lerr := d.lookupNS(nsID)
 	if lerr != nil {
 		return false, lerr
+	}
+	if ns.origin != 0 {
+		_, _, err := ns.fam.chains.GetAtOrBefore(key, ns.cutoff)
+		if errors.Is(err, hashindex.ErrNotFound) {
+			return false, nil
+		}
+		return err == nil, nil
 	}
 	ns.mu.RLock()
 	defer ns.mu.RUnlock()

@@ -3,8 +3,10 @@ package kamlssd
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/hashindex"
 	"github.com/kaml-ssd/kaml/internal/nvme"
 	"github.com/kaml-ssd/kaml/internal/record"
 )
@@ -12,35 +14,37 @@ import (
 // Recover rebuilds a device after a power cut from the two artifacts that
 // survive one: the flash array and the battery-backed NVRAM. Unlike the
 // legacy Restore (state.go), which replays a DRAM snapshot, Recover trusts
-// nothing volatile — every mapping table, the log allocator, and the
-// valid-byte accounting are reconstructed by scanning the logs, exactly as
-// real firmware would after power loss (paper §IV-D: "the firmware
-// recovers using the data in the non-volatile buffers" plus a log scan).
+// nothing volatile — every version chain, mapping table, the log allocator,
+// and the valid-byte accounting are reconstructed by scanning the logs,
+// exactly as real firmware would after power loss (paper §IV-D: "the
+// firmware recovers using the data in the non-volatile buffers" plus a log
+// scan).
 //
 // The protocol, in order:
 //
-//  1. Recreate every namespace from the NVRAM catalog, with empty indices.
-//     (Swapped-out tables are recovered unswapped; their stale flash pages
-//     fail the liveness check and become garbage.)
+//  1. Recreate every namespace from the NVRAM catalog: writable roots with
+//     empty indices and empty version chains, snapshots as index-less
+//     shells pinned at their persisted cutoff. (Swapped-out tables are
+//     recovered unswapped; their stale flash pages fail the liveness check
+//     and become garbage.)
 //  2. Discard staged values of batches that never committed: their Puts
 //     were not acknowledged, so the whole batch must vanish (atomicity).
-//  3. Scan every programmed page of every block. Pages failing the OOB
-//     magic/CRC (torn or garbage) are skipped. For each record, apply
-//     newest-sequence-wins per (namespace, key), honoring each family
-//     member's snapshot cutoff — and ignore sequences that are aborted or
-//     belong to a still-staged (hence at-cut-uncommitted-or-racing) batch
-//     only if aborted; a staged-and-committed value seen on flash is
-//     simply already durable.
+//  3. Scan every programmed page of every block, newest-sequence-wins per
+//     pin boundary: for each family the interesting timestamps are its
+//     snapshot cutoffs plus "now" (the root's head), and the scan keeps,
+//     per key, the newest record at or below each boundary. Pages failing
+//     the OOB magic/CRC (torn or garbage) are skipped; aborted sequences
+//     are ignored.
 //  4. Rebuild the allocator: retired blocks stay out of service, empty
-//     blocks become free, partially-programmed blocks are padded with
-//     empty record pages (flash programs in order; a half-filled block
-//     cannot be appended to safely after its log's DRAM queue is lost) and
+//     blocks become free, partially-programmed blocks are padded and
 //     sealed so GC can reclaim the waste.
-//  5. Restart the background actors, then replay the surviving committed
-//     NVRAM values in sequence order: each value newer than anything on
-//     flash re-enters the index at its NVRAM location and is re-staged
-//     into a packer for programming; values already superseded or durable
-//     are released.
+//  5. Merge the surviving committed NVRAM values into the candidate set
+//     (a staged value beats an older flash copy at the same boundary),
+//     rebuild each family's version chains oldest-first from the selected
+//     candidates, mirror chain heads into the root indices, and restore
+//     valid-byte accounting per retained version. Then restart the
+//     background actors and re-stage the still-NVRAM-resident values into
+//     packers for programming.
 //
 // The configuration and flash geometry must match the pre-crash device.
 func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*Device, error) {
@@ -56,26 +60,45 @@ func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*D
 		ctrl:       ctrl,
 		eng:        arr.Engine(),
 		namespaces: make(map[uint32]*namespace),
+		families:   make(map[uint32]*family),
+		pins:       make(map[uint64]int),
 		nv:         nv,
 	}
 	d.initLocks()
 	d.buildLogs()
 
-	// 1. Namespaces from the catalog (sorted for determinism). The scan
-	// (steps 1-4) is single-threaded — no actor runs until step 5 — so the
-	// indices, allocator, and stats need no locking here.
+	// 1. Namespaces from the catalog (sorted for determinism; a root's ID
+	// is always smaller than its snapshots', so families exist before their
+	// shells). The scan (steps 1-4) is single-threaded — no actor runs
+	// until step 5 — so the indices, allocator, and stats need no locking.
 	for _, m := range nv.sortedCatalog() {
 		nLogs := m.numLogs
 		if nLogs <= 0 || nLogs > len(d.logs) {
 			nLogs = len(d.logs)
 		}
 		ns := d.newNamespace(m.id)
-		ns.setIndex(newIndex(m.kind, m.capacity, cfg.AutoGrowIndex))
 		ns.origin = m.origin
 		ns.readonly = m.readonly
 		ns.cutoff = m.cutoff
 		for i := 0; i < nLogs; i++ {
 			ns.logIDs = append(ns.logIDs, i)
+		}
+		if m.origin == 0 {
+			ns.setIndex(newIndex(m.kind, m.capacity, cfg.AutoGrowIndex))
+			ns.fam = &family{root: ns, chains: hashindex.NewVersionChains(m.capacity), rootLive: true}
+			d.families[m.id] = ns.fam
+		} else {
+			// Snapshot shell. Its origin may have been deleted pre-crash
+			// (snapshots outlive their root): synthesize an orphan family to
+			// carry the chains the shell still reads through.
+			fam := d.families[m.origin]
+			if fam == nil {
+				root := d.newNamespace(m.origin)
+				root.cutoff = noCutoff
+				fam = &family{root: root, chains: hashindex.NewVersionChains(m.capacity)}
+				d.families[m.origin] = fam
+			}
+			ns.fam = fam
 		}
 		d.namespaces[m.id] = ns
 	}
@@ -84,10 +107,7 @@ func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*D
 	d.stats.DroppedUncommitted = int64(nv.dropUncommitted())
 
 	// 3 + 4. Scan the logs and rebuild the allocator.
-	best := make(map[uint32]map[uint64]uint64, len(d.namespaces))
-	for id := range d.namespaces {
-		best[id] = make(map[uint64]uint64)
-	}
+	cr := newChainRebuild(d)
 	for _, lg := range d.logs {
 		lg.freeBlocks = 0
 		for ci := range lg.chips {
@@ -107,7 +127,7 @@ func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*D
 					lg.freeBlocks++
 					continue
 				}
-				if err := d.scanBlock(lg, best, ch, chip, b, n); err != nil {
+				if err := d.scanBlock(lg, cr, ch, chip, b, n); err != nil {
 					return nil, err
 				}
 				if n < fc.PagesPerBlock {
@@ -122,35 +142,166 @@ func Recover(arr *flash.Array, ctrl *nvme.Controller, cfg Config, nv *NVRAM) (*D
 		}
 	}
 
-	// Valid-byte accounting from the rebuilt indices.
-	for _, m := range nv.sortedCatalog() {
-		ns := d.namespaces[m.id]
-		ns.index.Range(func(_, val uint64) bool {
-			if loc := location(val); loc.isFlash() {
-				d.creditValid(loc)
-			}
-			return true
-		})
+	// 5a. Merge committed NVRAM values into the candidate set; a value
+	// superseded at every boundary — or already durable on flash — is
+	// released immediately.
+	seqs := nv.pendingSeqs()
+	var replay []uint64
+	for _, seq := range seqs {
+		e := nv.values[seq]
+		e.installed = false // any pre-cut install died with the DRAM index
+		if cr.offer(e.ns, e.key, seq, uint64(nvramLoc(seq))) {
+			replay = append(replay, seq)
+		} else {
+			nv.finish(seq)
+		}
 	}
 
-	// 5. Actors first (replay below can seal pages, which needs running
-	// flushers to drain the queue), then the NVRAM replay.
+	// 5b. Build the version chains oldest-first from the selected
+	// candidates, mirror chain heads into the live roots' mapping tables,
+	// and restore per-block valid-byte accounting (one credit per retained
+	// flash version).
+	if err := cr.build(d); err != nil {
+		return nil, err
+	}
+
+	// 5c. Actors first (re-staging below can seal pages, which needs
+	// running flushers to drain the queue), then route the surviving NVRAM
+	// values into packers.
 	d.startActors()
 	// Seed the index-population gauge from the rebuilt mapping tables (the
 	// registry is fresh; incremental updates resume from here).
 	for _, m := range nv.sortedCatalog() {
-		d.met.addIndexEntries(d.namespaces[m.id].index.Len())
+		if ns := d.namespaces[m.id]; ns.index != nil {
+			d.met.addIndexEntries(ns.index.Len())
+		}
 	}
-	if err := d.replayNVRAM(best); err != nil {
+	if err := d.restageNVRAM(replay); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
 
-// scanBlock reads the programmed prefix of one block and installs every
-// surviving record by newest-sequence-wins into each interested family
-// member's index.
-func (d *Device) scanBlock(lg *logState, best map[uint32]map[uint64]uint64, ch, chip, b, n int) error {
+// verCand is one candidate version seen during the recovery scan.
+type verCand struct{ seq, loc uint64 }
+
+// chainRebuild accumulates, per family root and key, the newest record
+// at-or-below each pin boundary. A family's boundaries are its snapshots'
+// cutoffs, ascending, plus noCutoff while the root is alive (the head).
+type chainRebuild struct {
+	bounds map[uint32][]uint64
+	best   map[uint32]map[uint64][]verCand
+}
+
+func newChainRebuild(d *Device) *chainRebuild {
+	cr := &chainRebuild{
+		bounds: make(map[uint32][]uint64, len(d.families)),
+		best:   make(map[uint32]map[uint64][]verCand, len(d.families)),
+	}
+	for rootID, fam := range d.families {
+		var bs []uint64
+		for _, ns := range d.namespaces {
+			if ns.fam == fam && ns.origin != 0 {
+				bs = append(bs, ns.cutoff)
+			}
+		}
+		if fam.rootLive {
+			bs = append(bs, noCutoff)
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		dd := bs[:0]
+		for i, b := range bs {
+			if i == 0 || b != bs[i-1] {
+				dd = append(dd, b)
+			}
+		}
+		cr.bounds[rootID] = dd
+		cr.best[rootID] = make(map[uint64][]verCand)
+	}
+	return cr
+}
+
+// offer records (seq, loc) as a candidate for every boundary it improves.
+// Returns false when the version is invisible at — or superseded at — every
+// boundary (i.e. it will not be retained).
+func (cr *chainRebuild) offer(rootID uint32, key, seq, loc uint64) bool {
+	bs, ok := cr.bounds[rootID]
+	if !ok || len(bs) == 0 {
+		return false // family fully deleted: every record is garbage
+	}
+	cands := cr.best[rootID][key]
+	if cands == nil {
+		cands = make([]verCand, len(bs))
+		cr.best[rootID][key] = cands
+	}
+	improved := false
+	for i, b := range bs {
+		if seq <= b && seq > cands[i].seq {
+			cands[i] = verCand{seq: seq, loc: loc}
+			improved = true
+		}
+	}
+	return improved
+}
+
+// build pushes the selected candidates into each family's chains in
+// ascending seq order, mirrors chain heads into live root indices, credits
+// the flash footprint of every retained version, and counts recovered
+// flash records.
+func (cr *chainRebuild) build(d *Device) error {
+	roots := make([]uint32, 0, len(cr.best))
+	for id := range cr.best {
+		roots = append(roots, id)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, rootID := range roots {
+		fam := d.families[rootID]
+		perKey := cr.best[rootID]
+		keys := make([]uint64, 0, len(perKey))
+		for k := range perKey {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, key := range keys {
+			cands := perKey[key]
+			// Distinct versions, ascending (the same version is typically the
+			// best at several adjacent boundaries).
+			vs := make([]verCand, 0, len(cands))
+			for _, c := range cands {
+				if c.seq != 0 {
+					vs = append(vs, c)
+				}
+			}
+			sort.Slice(vs, func(i, j int) bool { return vs[i].seq < vs[j].seq })
+			var head verCand
+			for i, c := range vs {
+				if i > 0 && c.seq == vs[i-1].seq {
+					continue
+				}
+				node, err := fam.chains.Push(key, c.seq, c.loc)
+				if err != nil {
+					return fmt.Errorf("kamlssd: recovery chain ns %d key %d: %w", rootID, key, err)
+				}
+				fam.chains.Commit(node)
+				head = c
+				if loc := location(c.loc); loc.isFlash() {
+					d.creditValid(loc)
+					d.stats.RecoveredRecords++
+				}
+			}
+			if fam.rootLive && head.seq != 0 {
+				if _, _, err := fam.root.index.Put(key, head.loc); err != nil {
+					return fmt.Errorf("kamlssd: recovery overflowed ns %d index: %w", rootID, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scanBlock reads the programmed prefix of one block and offers every
+// surviving record to the chain rebuild.
+func (d *Device) scanBlock(lg *logState, cr *chainRebuild, ch, chip, b, n int) error {
 	for page := 0; page < n; page++ {
 		ppn := d.arr.BlockPPN(ch, chip, b, page)
 		var data, oob []byte
@@ -190,16 +341,7 @@ func (d *Device) scanBlock(lg *logState, best map[uint32]map[uint64]uint64, ch, 
 				continue // padding record, rolled-back or uncommitted batch
 			}
 			loc := flashLoc(ppn, pl.StartChunk, pl.NumChunks)
-			for _, ns := range d.familyMembersSorted(pl.Record.Namespace) {
-				if ns.cutoff < seq || best[ns.id][pl.Record.Key] >= seq {
-					continue
-				}
-				if _, _, err := ns.index.Put(pl.Record.Key, uint64(loc)); err != nil {
-					return fmt.Errorf("kamlssd: recovery overflowed ns %d index: %w", ns.id, err)
-				}
-				best[ns.id][pl.Record.Key] = seq
-				d.stats.RecoveredRecords++
-			}
+			cr.offer(pl.Record.Namespace, pl.Record.Key, seq, uint64(loc))
 		}
 	}
 	return nil
@@ -234,39 +376,34 @@ func (d *Device) padBlock(lc *logChip, ch, chip, b int) error {
 	}
 }
 
-// replayNVRAM walks the surviving (all committed) staged values in
-// sequence order. A value newer than every flash copy re-enters the
-// affected indices at its NVRAM location and is re-staged into a packer;
-// one already durable or superseded everywhere is released.
-//
-// The flushers are already running, so this follows the normal lock
-// hierarchy: device read lock → namespace locks for the index swings, then
-// the routed log's mutex for the packer, NVRAM lock for bookkeeping.
-func (d *Device) replayNVRAM(best map[uint32]map[uint64]uint64) error {
-	d.nvMu.Lock()
-	seqs := d.nv.pendingSeqs()
-	d.nvMu.Unlock()
-	for _, seq := range seqs {
+// restageNVRAM routes the surviving NVRAM-resident values — already
+// selected into the version chains by the recovery merge — into packers so
+// the flushers program them to flash. Runs with the actors live, so it
+// follows the normal lock hierarchy.
+func (d *Device) restageNVRAM(replay []uint64) error {
+	for _, seq := range replay {
 		d.nvMu.Lock()
 		e := d.nv.values[seq]
-		e.installed = false // any pre-cut install died with the DRAM index
 		d.nvMu.Unlock()
+		if e == nil {
+			continue
+		}
+		fam := d.families[e.ns]
+		if fam == nil {
+			continue
+		}
+		// Route through the root when it is alive, else any surviving shell
+		// (shells copy the root's log assignment at creation).
 		var route *namespace
 		d.mu.RLock()
-		for _, ns := range d.familyMembersSorted(e.ns) {
-			if ns.cutoff < seq || best[ns.id][e.key] >= seq {
-				continue
-			}
-			ns.mu.Lock()
-			_, _, perr := ns.index.Put(e.key, uint64(nvramLoc(seq)))
-			ns.mu.Unlock()
-			if perr != nil {
-				d.mu.RUnlock()
-				return fmt.Errorf("kamlssd: recovery overflowed ns %d index: %w", ns.id, perr)
-			}
-			best[ns.id][e.key] = seq
-			if route == nil {
-				route = ns
+		if fam.rootLive {
+			route = d.namespaces[e.ns]
+		} else {
+			for _, ns := range d.namespacesSorted() {
+				if ns.fam == fam {
+					route = ns
+					break
+				}
 			}
 		}
 		d.mu.RUnlock()
@@ -305,10 +442,4 @@ func (d *Device) replayNVRAM(best map[uint32]map[uint64]uint64) error {
 		addStat(&d.stats.ReplayedValues, 1)
 	}
 	return nil
-}
-
-// familyMembersSorted is a legacy alias: familyMembers itself now returns a
-// deterministic ID order. Called with d.mu held (read or write).
-func (d *Device) familyMembersSorted(root uint32) []*namespace {
-	return d.familyMembers(root)
 }

@@ -12,21 +12,22 @@ var ErrReadOnly = errors.New("kamlssd: namespace is a read-only snapshot")
 // This file implements namespace snapshots, the paper's §I observation that
 // a key-value FTL "makes it possible to exploit the layer of indirection to
 // provide additional services like snapshots". Because flash pages are
-// immutable and records are reached only through the mapping table, a
-// snapshot is nothing more than a copy of the namespace's index: the
-// snapshot and the origin share every record on flash, updates to the
-// origin diverge naturally (they append new records and swing only the
-// origin's index), and the garbage collector keeps a record alive while
-// ANY family member still references it.
+// immutable and every retained version of a key stays reachable through the
+// family's version chains (mvcc.go), a snapshot is nothing more than a
+// PINNED COMMIT TIMESTAMP: the snapshot namespace is an index-less shell
+// whose reads resolve "newest version at-or-before my cutoff" against the
+// origin's chains, updates to the origin diverge naturally (they push newer
+// versions), and pruning/GC keep a version alive while any snapshot's
+// cutoff — or transaction pin — still sees it.
 
 // SnapshotNamespace creates a read-only, point-in-time snapshot of the
 // namespace and returns its ID. The snapshot observes every Put
-// acknowledged before the call; it costs one index copy and no flash I/O.
+// acknowledged before the call; it costs one catalog entry — no index
+// copy, no flash I/O.
 //
-// Creation takes the device write lock, which freezes flusher and GC index
-// installs (they hold the read lock across a whole page's swings), and
-// waits out in-flight Put batches touching the source so the clone never
-// captures a half-staged batch.
+// Creation waits out in-flight Put batches touching the source so the
+// pinned cutoff is settled: every version at or below it has its commit
+// decision (and commit stamp) already in place.
 func (d *Device) SnapshotNamespace(nsID uint32) (uint32, error) {
 	res := d.SubmitSnapshot(nsID).Wait()
 	return res.Namespace, res.Err
@@ -38,19 +39,10 @@ func (d *Device) execSnapshot(nsID uint32) (uint32, error) {
 	if d.closed.Load() {
 		return 0, d.closedErr()
 	}
-	src, lerr := d.lookupNS(nsID)
-	if lerr != nil {
+	if _, lerr := d.lookupNS(nsID); lerr != nil {
 		return 0, lerr
 	}
-	// Charge controller time proportional to the table copy.
-	src.mu.RLock()
-	if src.swapped {
-		src.mu.RUnlock()
-		return 0, ErrSwappedOut
-	}
-	probes := src.index.Len()
-	src.mu.RUnlock()
-	d.ctrl.ComputeProbes(probes / 64) // bulk copy, not per-slot probing
+	d.ctrl.ComputeProbes(0) // pinning a timestamp copies nothing
 
 	var snapID uint32
 	for {
@@ -62,9 +54,9 @@ func (d *Device) execSnapshot(nsID uint32) (uint32, error) {
 		}
 		if src.pendingBatches.Load() > 0 {
 			// A Put batch has staged some but possibly not all of its
-			// records into this index. Wait for it to commit or abort —
-			// without holding the device lock, since draining the batch
-			// may need the flusher (which installs under d.mu.RLock).
+			// records. Wait for it to commit or abort — without holding the
+			// device lock, since draining the batch may need the flusher
+			// (which installs under d.mu.RLock).
 			d.mu.Unlock()
 			d.eng.Sleep(d.cfg.FlushPoll)
 			continue
@@ -96,33 +88,27 @@ func (d *Device) execSnapshot(nsID uint32) (uint32, error) {
 		if cut == noCutoff {
 			cut = d.nv.nvSeq
 		}
+		var kind IndexKind
+		var capacity int
+		if m := d.nv.catalog[nsID]; m != nil {
+			kind, capacity = m.kind, m.capacity
+		}
 		d.nvMu.Unlock()
 
 		snap := d.newNamespace(snapID)
-		snap.setIndex(src.index.Clone())
-		d.met.addIndexEntries(snap.index.Len())
 		snap.logIDs = append([]int(nil), src.logIDs...)
 		snap.origin = familyRoot(src)
 		snap.readonly = true
 		snap.cutoff = cut
+		snap.fam = src.fam // shell reads resolve through the family chains
 		d.namespaces[snapID] = snap
 		d.nvMu.Lock()
 		d.nv.putNS(nsMeta{
-			id: snapID, kind: snap.index.Kind(), capacity: snap.index.Capacity(),
+			id: snapID, kind: kind, capacity: capacity,
 			numLogs: len(snap.logIDs), origin: snap.origin, readonly: true, cutoff: cut,
 		})
 		d.nvMu.Unlock()
 		src.mu.Unlock()
-		// Records shared with the snapshot must count as valid even after
-		// the origin supersedes them; exact double-entry accounting per
-		// member is not worth the bookkeeping (GC re-validates every record
-		// it scans), so credit the snapshot's flash records once.
-		snap.index.Range(func(_, val uint64) bool {
-			if loc := location(val); loc.isFlash() {
-				d.creditValid(loc)
-			}
-			return true
-		})
 		d.mu.Unlock()
 		return snapID, nil
 	}

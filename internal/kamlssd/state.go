@@ -3,8 +3,10 @@ package kamlssd
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"github.com/kaml-ssd/kaml/internal/flash"
+	"github.com/kaml-ssd/kaml/internal/hashindex"
 	"github.com/kaml-ssd/kaml/internal/nvme"
 	"github.com/kaml-ssd/kaml/internal/record"
 )
@@ -39,6 +41,12 @@ func (d *Device) SwapOutIndex(nsID uint32) error {
 		}
 		ns.mu.RLock()
 		if ns.swapped {
+			ns.mu.RUnlock()
+			return nil
+		}
+		if ns.index == nil {
+			// Snapshot shells carry no mapping table — they resolve reads
+			// through the family's version chains. Nothing to swap.
 			ns.mu.RUnlock()
 			return nil
 		}
@@ -197,7 +205,15 @@ type State struct {
 	NVSeq    uint64
 	NVRAM    map[uint64][]byte
 	NS       []nsSnapshot
+	Families map[uint32]famSnapshot // family root ID -> serialized version chains
 	Logs     []logSnapshot
+}
+
+// famSnapshot captures one family's version chains (committed nodes only;
+// pending nodes are NVRAM state and die with the batch).
+type famSnapshot struct {
+	chainsBlob []byte
+	keys       int // sizing hint for the rebuilt chain table
 }
 
 type nsSnapshot struct {
@@ -259,13 +275,24 @@ func (d *Device) Crash() *State {
 			readonly:  ns.readonly,
 			cutoff:    ns.cutoff,
 		}
-		if !ns.swapped {
+		if !ns.swapped && ns.index != nil {
 			snap.indexBlob = ns.index.Serialize()
 			snap.indexCap = ns.index.Capacity()
 			snap.indexKind = ns.index.Kind()
 		}
 		ns.mu.RUnlock()
 		st.NS = append(st.NS, snap)
+	}
+	// Version chains, one blob per family (the root's mu serializes chain
+	// mutation, so a read-hold freezes the committed set).
+	st.Families = make(map[uint32]famSnapshot, len(d.families))
+	for rootID, fam := range d.families {
+		fam.root.mu.RLock()
+		st.Families[rootID] = famSnapshot{
+			chainsBlob: fam.chains.Serialize(),
+			keys:       fam.chains.Keys(),
+		}
+		fam.root.mu.RUnlock()
 	}
 	d.closed.Store(true)
 	d.crashed.Store(true)
@@ -335,6 +362,8 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 		ctrl:       ctrl,
 		eng:        arr.Engine(),
 		namespaces: make(map[uint32]*namespace),
+		families:   make(map[uint32]*family),
+		pins:       make(map[uint64]int),
 		nv:         NewNVRAM(),
 	}
 	d.nv.nextNSID = st.NextNSID
@@ -354,7 +383,7 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 			numLogs: len(snap.logIDs), origin: snap.origin,
 			readonly: snap.readonly, cutoff: snap.cutoff,
 		})
-		if !snap.swapped {
+		if !snap.swapped && snap.origin == 0 {
 			tbl, err := deserializeIndex(snap.indexKind, snap.indexBlob, snap.indexCap, cfg.AutoGrowIndex)
 			if err != nil {
 				return nil, fmt.Errorf("kamlssd: restore ns %d: %w", snap.id, err)
@@ -362,6 +391,38 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 			ns.setIndex(tbl)
 		}
 		d.namespaces[ns.id] = ns
+	}
+	// Rebuild version-chain families. A family whose root was deleted
+	// pre-crash gets a synthetic root namespace to carry the chain lock (the
+	// surviving snapshots still read through it).
+	famIDs := make([]uint32, 0, len(st.Families))
+	for id := range st.Families {
+		famIDs = append(famIDs, id)
+	}
+	sort.Slice(famIDs, func(i, j int) bool { return famIDs[i] < famIDs[j] })
+	for _, rootID := range famIDs {
+		fs := st.Families[rootID]
+		chains, err := hashindex.DeserializeVersionChains(fs.chainsBlob, fs.keys)
+		if err != nil {
+			return nil, fmt.Errorf("kamlssd: restore family %d chains: %w", rootID, err)
+		}
+		root, live := d.namespaces[rootID]
+		if !live {
+			root = d.newNamespace(rootID)
+			root.cutoff = noCutoff
+		}
+		d.families[rootID] = &family{root: root, chains: chains, rootLive: live}
+	}
+	for _, ns := range d.namespaces {
+		fam := d.families[familyRoot(ns)]
+		if fam == nil {
+			if ns.origin != 0 {
+				return nil, fmt.Errorf("kamlssd: restore ns %d: family %d missing from snapshot", ns.id, ns.origin)
+			}
+			fam = &family{root: ns, chains: hashindex.NewVersionChains(8), rootLive: true}
+			d.families[ns.id] = fam
+		}
+		ns.fam = fam
 	}
 	if len(st.Logs) != len(d.logs) {
 		return nil, fmt.Errorf("kamlssd: restore with %d logs, snapshot has %d",
@@ -451,7 +512,7 @@ func Restore(arr *flash.Array, ctrl *nvme.Controller, cfg Config, st *State) (*D
 	}
 	d.startActors()
 	for _, ns := range d.namespacesSorted() {
-		if !ns.swapped {
+		if !ns.swapped && ns.index != nil {
 			d.met.addIndexEntries(ns.index.Len())
 		}
 	}

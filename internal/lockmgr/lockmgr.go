@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/kaml-ssd/kaml/internal/sim"
+	"github.com/kaml-ssd/kaml/internal/telemetry"
 )
 
 // ErrDie reports a wait-die abort: the requester is younger than a
@@ -34,7 +35,15 @@ var ErrDie = errors.New("lockmgr: wait-die abort")
 const DieBackoff = 5 * time.Microsecond
 
 // Backoff parks the calling actor for the wait-die retry backoff.
-func (m *Manager) Backoff() { m.eng.Sleep(DieBackoff) }
+func (m *Manager) Backoff() {
+	m.mu.Lock()
+	c := m.cBackoffs
+	m.mu.Unlock()
+	if c != nil {
+		c.Inc()
+	}
+	m.eng.Sleep(DieBackoff)
+}
 
 // Mode is a lock mode.
 type Mode int
@@ -67,6 +76,34 @@ type Manager struct {
 	locks          map[LockID]*lockState
 
 	acquires, waits, dies int64
+
+	// Telemetry instruments, nil until Instrument is called (scrape-free
+	// workloads pay nothing). Guarded by m.mu.
+	cAcquires, cWaits, cDies, cBackoffs *telemetry.Counter
+}
+
+// Instrument registers the lock manager's counters in r and starts
+// exporting: kaml_lockmgr_acquires_total, kaml_lockmgr_waits_total,
+// kaml_lockmgr_dies_total (wait-die kills), and
+// kaml_lockmgr_backoffs_total (post-die retry backoffs). Counts accumulated
+// before the call are exported retroactively. A nil registry is a no-op.
+func (m *Manager) Instrument(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.Help("kaml_lockmgr_acquires_total", "Lock acquisitions requested (includes re-acquires and upgrades).")
+	r.Help("kaml_lockmgr_waits_total", "Acquire passes that parked waiting for a conflicting holder.")
+	r.Help("kaml_lockmgr_dies_total", "Wait-die aborts: younger requesters killed by an older holder.")
+	r.Help("kaml_lockmgr_backoffs_total", "Retry backoffs taken by killed transactions before re-running.")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cAcquires = r.Counter("kaml_lockmgr_acquires_total")
+	m.cWaits = r.Counter("kaml_lockmgr_waits_total")
+	m.cDies = r.Counter("kaml_lockmgr_dies_total")
+	m.cBackoffs = r.Counter("kaml_lockmgr_backoffs_total")
+	m.cAcquires.Add(m.acquires)
+	m.cWaits.Add(m.waits)
+	m.cDies.Add(m.dies)
 }
 
 type lockState struct {
@@ -131,6 +168,9 @@ func (m *Manager) Acquire(t *Txn, table uint32, key uint64, mode Mode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.acquires++
+	if m.cAcquires != nil {
+		m.cAcquires.Inc()
+	}
 
 	if have, ok := t.held[id]; ok {
 		if have == Exclusive || mode == Shared {
@@ -199,9 +239,15 @@ func (m *Manager) Acquire(t *Txn, table uint32, key uint64, mode Mode) error {
 		}
 		if mustDie {
 			m.dies++
+			if m.cDies != nil {
+				m.cDies.Inc()
+			}
 			return fmt.Errorf("%w: ts %d on %v/%s", ErrDie, t.TS, id, mode)
 		}
 		m.waits++
+		if m.cWaits != nil {
+			m.cWaits.Inc()
+		}
 		if !registered {
 			ls.waiting[t.TS] = mode
 			registered = true

@@ -398,6 +398,43 @@ func (d *Device) Get(ns Namespace, key uint64) ([]byte, error) {
 	return v, err
 }
 
+// CommitTS returns the device's current commit timestamp — the sequence
+// number of the newest committed write. Values returned here are valid
+// arguments to GetAt, but nothing retains the versions visible at them:
+// an overwrite makes the old version collectable immediately. Use
+// PinCurrent (or a Snapshot) to hold a timestamp's view in place.
+func (d *Device) CommitTS() uint64 { return d.dev.CommitTS() }
+
+// PinCurrent pins and returns the newest settled commit timestamp: until
+// the pin is released, pruning and garbage collection keep every version
+// visible at it, so GetAt(ns, key, ts) keeps resolving to the values that
+// were current when the pin was taken. Pins are refcounted and cheap —
+// they hold back reclamation of superseded versions, not writes. Callers
+// must pair each PinCurrent with a ReleasePin.
+func (d *Device) PinCurrent() uint64 { return d.dev.PinCurrent() }
+
+// ReleasePin drops one reference to a pin taken by PinCurrent. Once a
+// timestamp has no pins and no snapshot cutoff, the versions only it
+// could see become collectable.
+func (d *Device) ReleasePin(ts uint64) { d.dev.ReleasePin(ts) }
+
+// GetAt retrieves the value stored under (ns, key) as of commit timestamp
+// ts: the newest version committed at or before ts ("time travel"). The
+// version is pinned against garbage collection only for the duration of
+// the call — for a stable long-lived view, create a Snapshot or use
+// Cache.BeginSI. A ts of CommitTS() reads the present; ts past a
+// snapshot's creation point is clamped to the snapshot's cutoff.
+func (d *Device) GetAt(ns Namespace, key uint64, ts uint64) ([]byte, error) {
+	t := d.tap
+	if t == nil {
+		return d.dev.GetAt(ns, key, ts)
+	}
+	id := t.OpInvoked(OpGet, 0, []Record{{Namespace: ns, Key: key}})
+	v, err := d.dev.GetAt(ns, key, ts)
+	t.OpCompleted(id, ns, v, err)
+	return v, err
+}
+
 // Put atomically inserts or updates a single key-value pair.
 func (d *Device) Put(ns Namespace, key uint64, value []byte) error {
 	recs := []kamlssd.PutRecord{{Namespace: ns, Key: key, Value: value}}
@@ -568,10 +605,13 @@ func (d *Device) TuneNamespaceLogs(ns Namespace, logs int) error {
 	return err
 }
 
-// Snapshot creates a read-only, point-in-time snapshot of the namespace —
-// a copy of its mapping table; records are shared on flash and kept alive
-// by the garbage collector while any snapshot references them (§I's
-// "additional services like snapshots").
+// Snapshot creates a read-only, point-in-time snapshot of the namespace.
+// A snapshot is an index-less shell that pins the namespace's commit
+// timestamp: reads resolve through the live index's version chains,
+// selecting the newest version at or below the pinned cutoff. Records are
+// shared on flash and kept alive by the garbage collector while any
+// snapshot (or in-flight snapshot-isolation transaction) can still see
+// them (§I's "additional services like snapshots").
 func (d *Device) Snapshot(ns Namespace) (Namespace, error) {
 	t := d.tap
 	if t == nil {
@@ -592,7 +632,8 @@ type CacheOptions struct {
 }
 
 // Cache is the host caching layer: a DRAM record cache plus a transaction
-// manager providing isolation (SS2PL) over the SSD's atomic Put.
+// manager over the SSD's atomic Put, offering two isolation levels —
+// serializable SS2PL (Begin) and snapshot isolation (BeginSI).
 type Cache struct {
 	c *cache.Cache
 	d *Device
@@ -633,6 +674,28 @@ func (c *Cache) Begin() *Txn {
 	}
 	return t
 }
+
+// BeginSI starts a snapshot-isolation transaction. Its reads are served
+// from a snapshot pinned at begin — they take no locks, never block, and
+// never abort on conflicts with readers or writers; long analytical reads
+// coexist with update traffic. Writes still lock and follow first-
+// committer-wins: if another transaction committed to the same key after
+// this transaction's snapshot, the write fails with ErrTxnAborted (retry
+// it). Write-skew is possible — use Begin (SS2PL, serializable) when that
+// matters.
+func (c *Cache) BeginSI() *Txn {
+	t := &Txn{tx: c.c.BeginSI(), tap: c.d.tap}
+	if t.tap != nil {
+		t.id = t.tap.TxnBegan()
+	}
+	return t
+}
+
+// TestingDisableSIValidation turns off first-committer-wins validation on
+// snapshot-isolation writes, making lost updates possible. Defect-injection
+// hook for the model checker's SI self-test (internal/check) — never call
+// it in production code.
+func (c *Cache) TestingDisableSIValidation() { c.c.DisableSIValidation() }
 
 // Read returns the value under (ns, key) with a shared lock
 // (TransactionRead).
