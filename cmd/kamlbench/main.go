@@ -9,10 +9,21 @@
 //	kamlbench -parallel 8      # figure-cell worker pool (default GOMAXPROCS)
 //	kamlbench -json out.json   # also write the tables as JSON ("-" = stdout)
 //	kamlbench -cpuprofile cpu.pprof -memprofile mem.pprof
-//	kamlbench -list            # list experiment IDs
+//	kamlbench -list            # list experiment IDs and scenarios
+//
+//	kamlbench -scenario diurnal              # embedded acceptance scenario
+//	kamlbench -scenario path/to/custom.json  # scenario file on disk
+//	kamlbench -scenario diurnal -json -      # canonical report JSON on stdout
 //
 // Experiment IDs: fig5 fig6 fig7 fig8 fig9 fig10 conflicts ablations qdsweep
 // sisweep getscale kamlcluster
+//
+// Scenario mode replays a declarative production-traffic scenario
+// (phased arrival curves, hot-key storms, fault ramps, power cuts, node
+// kills, live rebalancing) against the simulated device or cluster in
+// virtual time and evaluates the scenario's assertion block. The exit
+// code is 0 when every assertion holds and 1 otherwise, with the first
+// failing assertion named on stderr.
 //
 // Each figure cell is an independent simulation on its own virtual clock,
 // so -parallel changes wall-clock time only: the tables are identical at
@@ -31,6 +42,7 @@ import (
 
 	"github.com/kaml-ssd/kaml/internal/experiments"
 	"github.com/kaml-ssd/kaml/internal/telemetry"
+	"github.com/kaml-ssd/kaml/scenarios"
 )
 
 type experiment struct {
@@ -58,6 +70,7 @@ func catalog() []experiment {
 		{"sisweep", "isolation sweep: SS2PL vs snapshot isolation, hot-key RMW abort rate and reader coexistence", experiments.SISweep},
 		{"getscale", "concurrent Get scaling: wall-clock gets/s and allocs per Get vs reader count", wrap1(experiments.GetScale)},
 		{"kamlcluster", "sharded replicated cluster: per-shard Get SLO with hedged reads, live migration, forced failover", wrap1(experiments.KamlCluster)},
+		{"traffic", "production traffic scenarios: all checked-in scenarios with per-phase stats and assertion verdicts", wrap1(experiments.TrafficScenarios)},
 	}
 }
 
@@ -90,15 +103,29 @@ func main() {
 	jsonPath := flag.String("json", "", "write experiment tables as JSON to this path (\"-\" = stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this path at exit")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
+	list := flag.Bool("list", false, "list experiment IDs and scenarios, then exit")
+	scenario := flag.String("scenario", "", "run a traffic scenario (embedded name or JSON file path) instead of experiments")
 	flag.Parse()
 
 	cat := catalog()
 	if *list {
+		fmt.Println("experiments:")
 		for _, e := range cat {
-			fmt.Printf("%-10s %s\n", e.id, e.desc)
+			fmt.Printf("  %-12s %s\n", e.id, e.desc)
+		}
+		fmt.Println("\nscenarios (-scenario <name>):")
+		for _, name := range scenarios.Names() {
+			desc := ""
+			if sc, err := scenarios.Load(name); err == nil {
+				desc = sc.Description
+			}
+			fmt.Printf("  %-16s %s\n", name, desc)
 		}
 		return
+	}
+
+	if *scenario != "" {
+		os.Exit(runScenario(*scenario, *jsonPath, os.Stdout, os.Stderr))
 	}
 
 	experiments.SetParallelism(*parallel)

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/kaml-ssd/kaml/internal/traffic"
+	"github.com/kaml-ssd/kaml/scenarios"
+)
+
+// loadScenario resolves -scenario's argument: the name of an embedded
+// scenario (see scenarios/) or a path to a scenario JSON file.
+func loadScenario(arg string) (*traffic.Scenario, error) {
+	if strings.ContainsAny(arg, "/\\.") {
+		blob, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.Parse(blob)
+	}
+	return scenarios.Load(arg)
+}
+
+// runScenario executes one traffic scenario and renders its report.
+// Returns the process exit code: 0 when every assertion passed, 1 with
+// the first failing assertion named on stderr otherwise. With jsonPath
+// set, the canonical report bytes (the golden-file format) are written
+// there ("-" = stdout).
+func runScenario(arg, jsonPath string, stdout, stderr io.Writer) int {
+	sc, err := loadScenario(arg)
+	if err != nil {
+		fmt.Fprintf(stderr, "scenario %s: %v\n", arg, err)
+		return 2
+	}
+	rep, err := traffic.Run(sc)
+	if err != nil {
+		fmt.Fprintf(stderr, "scenario %s: %v\n", arg, err)
+		return 2
+	}
+
+	if jsonPath == "-" {
+		if _, err := stdout.Write(rep.Canonical()); err != nil {
+			fmt.Fprintf(stderr, "write report: %v\n", err)
+			return 2
+		}
+	} else {
+		renderScenarioReport(stdout, rep)
+		if jsonPath != "" {
+			if err := os.WriteFile(jsonPath, rep.Canonical(), 0o644); err != nil {
+				fmt.Fprintf(stderr, "write %s: %v\n", jsonPath, err)
+				return 2
+			}
+		}
+	}
+
+	if !rep.Passed {
+		a, _ := rep.FirstFailure()
+		fmt.Fprintf(stderr, "FAIL %s: assertion %s: %s\n", rep.Scenario, a.Name, a.Detail)
+		fmt.Fprintf(stderr, "reproduce: kamlbench -scenario %s   (seed %d is part of the scenario file)\n", arg, rep.Seed)
+		return 1
+	}
+	return 0
+}
+
+// renderScenarioReport prints the human-readable per-phase table and the
+// assertion verdicts.
+func renderScenarioReport(w io.Writer, rep *traffic.Report) {
+	fmt.Fprintf(w, "scenario %s (seed %d, target %s): %dms of virtual time\n\n",
+		rep.Scenario, rep.Seed, rep.Target, rep.DurationMS)
+	fmt.Fprintf(w, "%-12s %9s %9s %7s %7s %9s %9s %9s\n",
+		"phase", "issued", "errors", "txns", "aborts", "p50µs", "p95µs", "p99µs")
+	for _, ph := range rep.Phases {
+		fmt.Fprintf(w, "%-12s %9d %9d %7d %7d %9d %9d %9d\n",
+			ph.Name, ph.OpsIssued, ph.Errors, ph.TxnsCommitted, ph.TxnsAborted,
+			ph.LatencyUS.P50, ph.LatencyUS.P95, ph.LatencyUS.P99)
+	}
+	f := rep.Final
+	fmt.Fprintf(w, "\nfinal: %d acked writes, %d maybe; %d power cuts, %d recoveries (%d failed)",
+		f.AckedWrites, f.MaybeWrites, f.PowerCuts, f.Recoveries, f.RecoveryFailures)
+	if rep.Target == "cluster" {
+		fmt.Fprintf(w, "; %d failovers, %d/%d shards live", f.Failovers, f.ShardsLive, f.ShardsTotal)
+	}
+	fmt.Fprintf(w, "; %d sampled events\n\n", f.SampledEvents)
+	for _, a := range rep.Assertions {
+		mark := "ok  "
+		if !a.Passed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  %s %-36s %s\n", mark, a.Name, a.Detail)
+	}
+	for _, d := range f.ViolationDetails {
+		fmt.Fprintf(w, "  !! %s\n", d)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/kaml-ssd/kaml/scenarios"
+)
+
+// TestRunScenarioBrokenSLOExitsNonZero drives the full CLI path with the
+// deliberately unachievable fixture: exit code 1 and the failing
+// assertion named on stderr.
+func TestRunScenarioBrokenSLOExitsNonZero(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "traffic", "testdata", "broken-slo.json")
+	var stdout, stderr bytes.Buffer
+	code := runScenario(fixture, "", &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "phase[burst].p99_us") {
+		t.Fatalf("stderr does not name the failing assertion:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "FAIL") {
+		t.Fatalf("stdout table does not mark the failed assertion:\n%s", stdout.String())
+	}
+}
+
+// TestRunScenarioEmbeddedPassesAndMatchesGolden runs an embedded
+// scenario by name with -json - and checks the emitted bytes against the
+// checked-in golden report.
+func TestRunScenarioEmbeddedPassesAndMatchesGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runScenario("diurnal", "-", &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	want := scenarios.Golden("diurnal")
+	if want == nil {
+		t.Fatal("no golden report for diurnal")
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("-json - output drifted from scenarios/golden/diurnal.report.json")
+	}
+}
+
+// TestRunScenarioJSONFile writes the report to a file and renders the
+// human table on stdout at the same time.
+func TestRunScenarioJSONFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rep.json")
+	var stdout, stderr bytes.Buffer
+	code := runScenario("flash-aging", out, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := scenarios.Golden("flash-aging"); !bytes.Equal(blob, want) {
+		t.Fatal("written report drifted from golden")
+	}
+	if !strings.Contains(stdout.String(), "scenario flash-aging") {
+		t.Fatalf("human summary missing:\n%s", stdout.String())
+	}
+}
+
+// TestRunScenarioUnknown exercises the load-error path: exit 2, no run.
+func TestRunScenarioUnknown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runScenario("no-such-scenario", "", &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if code := runScenario(filepath.Join(t.TempDir(), "missing.json"), "", &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d for missing file, want 2", code)
+	}
+}

@@ -53,6 +53,8 @@ type Plan struct {
 	rng      *rand.Rand
 	programs int  // program attempts seen so far
 	cut      bool // power cut already delivered
+	cutNow   bool // CutNow armed: next operation cuts power
+	cutTorn  bool // CutNow torn-page variant
 }
 
 // New builds a plan from cfg.
@@ -60,10 +62,45 @@ func New(cfg Config) *Plan {
 	return &Plan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
+// SetProbs retargets the per-operation failure probabilities at run time.
+// The traffic simulator uses this to model flash aging: error rates ramp
+// up over a scenario's virtual lifetime instead of being fixed at Open.
+// Probability draws keep consuming the same seeded PRNG stream, so two
+// runs applying the same SetProbs schedule stay deterministic.
+func (p *Plan) SetProbs(read, program, erase float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cfg.ReadFailProb = read
+	p.cfg.ProgramFailProb = program
+	p.cfg.EraseFailProb = erase
+}
+
+// CutNow arms an immediate power cut: the next flash operation the plan
+// sees is interrupted (torn leaves a partially-programmed page when that
+// operation is a program). Unlike the count/time cuts configured at New,
+// CutNow is triggered by an actor at a chosen point in virtual time —
+// the traffic simulator's scripted power-cut events use it.
+// Each call arms exactly one cut: a plan that already delivered a cut
+// (scripted or configured) is re-armed, so a scenario can crash a device
+// repeatedly across recoveries.
+func (p *Plan) CutNow(torn bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut = false
+	p.cutNow, p.cutTorn = true, torn
+}
+
 // Decide implements flash.Injector.
 func (p *Plan) Decide(op flash.Op, ppn flash.PPN, now time.Duration) flash.Verdict {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if !p.cut && p.cutNow {
+		p.cut, p.cutNow = true, false
+		if op == flash.OpProgram && p.cutTorn {
+			return flash.VerdictPowerCutTorn
+		}
+		return flash.VerdictPowerCut
+	}
 	if !p.cut && p.cfg.CutAtTime > 0 && now >= p.cfg.CutAtTime {
 		p.cut = true
 		if op == flash.OpProgram && p.cfg.TornPageOnCut {

@@ -65,6 +65,50 @@ func TestSeededProbabilitiesAreDeterministic(t *testing.T) {
 	}
 }
 
+func TestSetProbsRetargetsAtRuntime(t *testing.T) {
+	p := New(Config{Seed: 7})
+	for i := 0; i < 200; i++ {
+		if v := p.Decide(flash.OpRead, 0, 0); v != flash.VerdictOK {
+			t.Fatalf("benign plan injected %v", v)
+		}
+	}
+	p.SetProbs(1.0, 0, 0)
+	if v := p.Decide(flash.OpRead, 0, 0); v != flash.VerdictFail {
+		t.Fatalf("read at p=1.0: verdict %v, want fail", v)
+	}
+	if v := p.Decide(flash.OpProgram, 0, 0); v != flash.VerdictOK {
+		t.Fatalf("program untouched by read prob: verdict %v", v)
+	}
+	p.SetProbs(0, 0, 0)
+	for i := 0; i < 200; i++ {
+		if v := p.Decide(flash.OpRead, 0, 0); v != flash.VerdictOK {
+			t.Fatalf("reset plan injected %v", v)
+		}
+	}
+}
+
+func TestCutNowInterruptsNextOpAndRearms(t *testing.T) {
+	p := New(Config{})
+	p.CutNow(false)
+	if v := p.Decide(flash.OpRead, 0, 0); v != flash.VerdictPowerCut {
+		t.Fatalf("armed cut: verdict %v", v)
+	}
+	if !p.Cut() {
+		t.Fatalf("cut not latched")
+	}
+	if v := p.Decide(flash.OpProgram, 0, 0); v != flash.VerdictOK {
+		t.Fatalf("cut delivered twice: %v", v)
+	}
+	// Re-arming after a delivered cut works (multi-crash scenarios).
+	p.CutNow(true)
+	if v := p.Decide(flash.OpProgram, 0, 0); v != flash.VerdictPowerCutTorn {
+		t.Fatalf("re-armed torn cut: verdict %v", v)
+	}
+	if v := p.Decide(flash.OpRead, 0, 0); v != flash.VerdictOK {
+		t.Fatalf("re-armed cut delivered twice: %v", v)
+	}
+}
+
 func TestZeroConfigNeverInjects(t *testing.T) {
 	p := New(Config{})
 	for i := 0; i < 1000; i++ {

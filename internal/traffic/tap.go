@@ -1,0 +1,63 @@
+package traffic
+
+import (
+	kaml "github.com/kaml-ssd/kaml"
+	"github.com/kaml-ssd/kaml/internal/check"
+)
+
+// samplingTap is a kaml.HistoryTap that records only a deterministic
+// subset of operations: those touching a key divisible by SampleEvery,
+// plus every record-less event (Crash, Reopen, TxnCommit, TxnAbort —
+// cheap and needed to anchor the checkers' crash and transaction
+// structure). Everything else returns ID 0 from OpInvoked, which the
+// underlying check.Recorder ignores on completion.
+//
+// Sampling is per key, never per operation: a sampled key's history is
+// complete, an unsampled key's history is entirely absent. That is the
+// property the end-of-run checkers rely on — dropping every event of a
+// key only removes evidence, it can never fabricate a linearizability or
+// SI violation, and cannot hide one involving only sampled keys.
+//
+// Taps cost host CPU only. Recording happens between virtual-clock
+// events, so the scenario's measured (virtual-time) latencies are
+// identical with sampling at 1, at 1000, or with no tap at all —
+// observation cannot distort the latency distribution by construction.
+type samplingTap struct {
+	rec   *check.Recorder
+	every uint64
+}
+
+func newSamplingTap(rec *check.Recorder, every uint64) *samplingTap {
+	if every == 0 {
+		every = 1
+	}
+	return &samplingTap{rec: rec, every: every}
+}
+
+func (t *samplingTap) sampled(records []kaml.Record) bool {
+	if len(records) == 0 {
+		return true
+	}
+	for _, r := range records {
+		if r.Key%t.every == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OpInvoked implements kaml.HistoryTap.
+func (t *samplingTap) OpInvoked(op kaml.Op, txn uint64, records []kaml.Record) uint64 {
+	if !t.sampled(records) {
+		return 0
+	}
+	return t.rec.OpInvoked(op, txn, records)
+}
+
+// OpCompleted implements kaml.HistoryTap.
+func (t *samplingTap) OpCompleted(id uint64, ns kaml.Namespace, value []byte, err error) {
+	t.rec.OpCompleted(id, ns, value, err)
+}
+
+// TxnBegan implements kaml.HistoryTap.
+func (t *samplingTap) TxnBegan() uint64 { return t.rec.TxnBegan() }

@@ -136,3 +136,25 @@ func (l *Latest) Next(rng *rand.Rand) uint64 {
 	}
 	return max - 1 - off
 }
+
+// Rotating wraps a chooser over [0, N) and rotates its output by a
+// caller-supplied offset: key = (inner + Offset()) mod N. With a zipfian
+// inner chooser the popular items sit at the offset, so advancing the
+// offset over time models a moving hot set — the "hot-key storm with a
+// shifting hot set" ingredient of the traffic simulator's scenarios.
+// Offset is read per draw; it may be a constant or derive from virtual
+// time, and must itself be deterministic for reproducible runs.
+type Rotating struct {
+	Inner  KeyChooser
+	N      uint64
+	Offset func() uint64
+}
+
+// Next implements KeyChooser.
+func (r Rotating) Next(rng *rand.Rand) uint64 {
+	k := r.Inner.Next(rng)
+	if r.Offset != nil {
+		k += r.Offset()
+	}
+	return k % r.N
+}

@@ -92,6 +92,36 @@ func TestScrambledZipfianCoversSpace(t *testing.T) {
 	}
 }
 
+func TestRotatingMovesTheHotSet(t *testing.T) {
+	var offset uint64
+	r := Rotating{Inner: NewZipfian(1000, YCSBTheta), N: 1000, Offset: func() uint64 { return offset }}
+	rng := rand.New(rand.NewSource(3))
+	hottest := func() uint64 {
+		counts := make(map[uint64]int)
+		for i := 0; i < 20000; i++ {
+			k := r.Next(rng)
+			if k >= 1000 {
+				t.Fatalf("out of range: %d", k)
+			}
+			counts[k]++
+		}
+		best, n := uint64(0), 0
+		for k, c := range counts {
+			if c > n {
+				best, n = k, c
+			}
+		}
+		return best
+	}
+	if h := hottest(); h != 0 {
+		t.Fatalf("offset 0: hottest key %d, want 0", h)
+	}
+	offset = 700
+	if h := hottest(); h != 700 {
+		t.Fatalf("offset 700: hottest key %d, want 700", h)
+	}
+}
+
 func TestLatestFavorsRecent(t *testing.T) {
 	l := NewLatest(1000)
 	rng := rand.New(rand.NewSource(3))

@@ -218,6 +218,8 @@ type Device struct {
 	dev  *kamlssd.Device
 	opts Options
 	tap  HistoryTap
+	mu   sync.Mutex // guards lazy fault-plan install
+	plan *faultinject.Plan
 }
 
 // SetHistoryTap installs (or, with nil, removes) a history tap. Call it
@@ -234,9 +236,10 @@ func Open(opts Options) (*Device, error) {
 		eng = sim.NewEngine()
 	}
 	arr := flash.New(eng, opts.Flash)
+	var plan *faultinject.Plan
 	if opts.Faults != nil {
 		f := *opts.Faults
-		arr.SetInjector(faultinject.New(faultinject.Config{
+		plan = faultinject.New(faultinject.Config{
 			Seed:             f.Seed,
 			ReadFailProb:     f.ReadFailProb,
 			ProgramFailProb:  f.ProgramFailProb,
@@ -244,11 +247,47 @@ func Open(opts Options) (*Device, error) {
 			CutAfterPrograms: f.CutAfterPrograms,
 			CutAtTime:        f.CutAtTime,
 			TornPageOnCut:    f.TornPageOnCut,
-		}))
+		})
+		arr.SetInjector(plan)
 	}
 	ctrl := nvme.New(eng, opts.Transport)
 	dev := kamlssd.New(arr, ctrl, opts.Firmware)
-	return &Device{eng: eng, arr: arr, dev: dev, opts: opts}, nil
+	return &Device{eng: eng, arr: arr, dev: dev, opts: opts, plan: plan}, nil
+}
+
+// ensurePlan installs an initially-benign fault plan on the flash array if
+// none was configured at Open, so fault knobs can be turned at run time.
+func (d *Device) ensurePlan() *faultinject.Plan {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.plan == nil {
+		seed := int64(0)
+		if d.opts.Faults != nil {
+			seed = d.opts.Faults.Seed
+		}
+		d.plan = faultinject.New(faultinject.Config{Seed: seed})
+		d.arr.SetInjector(d.plan)
+	}
+	return d.plan
+}
+
+// SetFaultProbs retargets the flash array's per-operation failure
+// probabilities at run time, installing a benign fault plan first if the
+// device was opened without one. The traffic simulator's flash-aging
+// scenarios ramp these as simulated wear accumulates. Safe to call from
+// any actor; draws stay on the plan's seeded PRNG stream.
+func (d *Device) SetFaultProbs(read, program, erase float64) {
+	d.ensurePlan().SetProbs(read, program, erase)
+}
+
+// TriggerPowerCut arms an immediate fault-plan power cut: the next flash
+// operation is interrupted, and with torn set a program caught mid-flight
+// leaves a torn page for the recovery scanner to detect. Unlike PowerCut
+// (which halts the device instantly), the cut lands inside the flash
+// array exactly the way a supply failure would. Follow with Crash and
+// Reopen, as with any power loss.
+func (d *Device) TriggerPowerCut(torn bool) {
+	d.ensurePlan().CutNow(torn)
 }
 
 // CrashImage is what survives a power cut: the flash array's contents and
@@ -260,6 +299,7 @@ type CrashImage struct {
 	nv   *kamlssd.NVRAM
 	opts Options
 	tap  HistoryTap
+	plan *faultinject.Plan // fault plan still installed on the array
 }
 
 // Crash cuts power to the device and waits for its internal actors to
@@ -276,7 +316,10 @@ func (d *Device) Crash() *CrashImage {
 	}
 	d.dev.PowerFail()
 	d.dev.AwaitHalt()
-	return &CrashImage{eng: d.eng, arr: d.arr, nv: d.dev.NVRAM(), opts: d.opts, tap: d.tap}
+	d.mu.Lock()
+	plan := d.plan
+	d.mu.Unlock()
+	return &CrashImage{eng: d.eng, arr: d.arr, nv: d.dev.NVRAM(), opts: d.opts, tap: d.tap, plan: plan}
 }
 
 // PowerCut cuts power without waiting for the device to halt — use it from
@@ -303,7 +346,7 @@ func Reopen(img *CrashImage) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{eng: img.eng, arr: img.arr, dev: dev, opts: img.opts, tap: img.tap}, nil
+	return &Device{eng: img.eng, arr: img.arr, dev: dev, opts: img.opts, tap: img.tap, plan: img.plan}, nil
 }
 
 // Go runs fn as a simulation actor. All device operations must happen

@@ -1,0 +1,69 @@
+// Package scenarios ships the checked-in production traffic scenarios
+// and their golden expected reports. The scenario files are embedded so
+// `kamlbench -scenario <name>` works from any working directory, and the
+// goldens let CI diff a fresh run against the expected byte-identical
+// report.
+//
+// Every file is stored in traffic.Scenario canonical form (two-space
+// JSON, trailing newline); the round-trip test enforces it. Regenerate
+// after editing with:
+//
+//	go test ./scenarios -run TestScenarioFilesAreCanonical -update
+//	go test ./internal/traffic -run TestGolden -update
+package scenarios
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/kaml-ssd/kaml/internal/traffic"
+)
+
+//go:embed *.json golden/*.report.json
+var files embed.FS
+
+// Names returns the embedded scenario names, sorted.
+func Names() []string {
+	entries, err := files.ReadDir(".")
+	if err != nil {
+		panic(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".json"); ok && !e.IsDir() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Raw returns a scenario file's exact bytes.
+func Raw(name string) ([]byte, error) {
+	blob, err := files.ReadFile(name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenarios: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return blob, nil
+}
+
+// Load parses and validates an embedded scenario.
+func Load(name string) (*traffic.Scenario, error) {
+	blob, err := Raw(name)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.Parse(blob)
+}
+
+// Golden returns the golden expected-report bytes for a scenario, or nil
+// if no golden is checked in yet.
+func Golden(name string) []byte {
+	blob, err := files.ReadFile("golden/" + name + ".report.json")
+	if err != nil {
+		return nil
+	}
+	return blob
+}

@@ -1,0 +1,73 @@
+package scenarios
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"testing"
+
+	"github.com/kaml-ssd/kaml/internal/traffic"
+)
+
+var update = flag.Bool("update", false, "rewrite scenario files in canonical form")
+
+// TestScenarioFilesAreCanonical is the parser golden-file test: every
+// checked-in scenario must round-trip parse -> normalize -> marshal to
+// exactly the bytes on disk. Run with -update to canonicalize after
+// editing a scenario by hand.
+func TestScenarioFilesAreCanonical(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("only %d scenarios checked in, want >= 4", len(names))
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			raw, err := Raw(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := traffic.Parse(raw)
+			if err != nil {
+				t.Fatalf("checked-in scenario does not parse: %v", err)
+			}
+			if sc.Name != name {
+				t.Fatalf("scenario name %q != file name %q", sc.Name, name)
+			}
+			canon := sc.Canonical()
+			if bytes.Equal(raw, canon) {
+				return
+			}
+			if *update {
+				if err := os.WriteFile(name+".json", canon, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			t.Fatalf("scenario file is not canonical (run with -update)\n--- canonical ---\n%s", canon)
+		})
+	}
+}
+
+// TestGoldenReportsPresent keeps a golden expected report checked in for
+// every scenario, and keeps it parseable as a report-shaped JSON
+// document. Byte-exact comparison against a fresh run lives in
+// internal/traffic's acceptance test.
+func TestGoldenReportsPresent(t *testing.T) {
+	for _, name := range Names() {
+		g := Golden(name)
+		if g == nil {
+			t.Errorf("scenario %q has no golden report (go test ./internal/traffic -run TestScenarioAcceptance -update)", name)
+			continue
+		}
+		if !bytes.HasSuffix(g, []byte("\n")) {
+			t.Errorf("golden for %q missing trailing newline", name)
+		}
+	}
+}
+
+func TestLoadUnknownScenario(t *testing.T) {
+	if _, err := Load("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario loaded")
+	}
+}
